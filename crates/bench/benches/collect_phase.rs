@@ -1,0 +1,59 @@
+//! Micro: end-to-end reclamation-phase cost vs batch size.
+//!
+//! §6 tunes the delete-buffer size against exactly this: a larger batch
+//! amortizes the signal round over more frees but sorts and scans a longer
+//! master buffer. Measures `retire × B` + one forced collect.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use threadscan::{Collector, CollectorConfig};
+use ts_sigscan::SignalPlatform;
+
+fn bench_collect_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collect_phase");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &batch in &[256usize, 1024, 4096] {
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            let collector = Collector::with_config(
+                SignalPlatform::new().expect("signals"),
+                // Buffer bigger than the batch so WE trigger the collect.
+                CollectorConfig::default().with_buffer_capacity(batch * 2),
+            );
+            let handle = collector.register();
+            b.iter(|| {
+                for _ in 0..batch {
+                    let node = Box::into_raw(Box::new([0u8; 64]));
+                    // SAFETY: fresh node, never shared.
+                    unsafe { handle.retire(node) };
+                }
+                handle.flush();
+                black_box(collector.stats().freed)
+            });
+            drop(handle);
+        });
+    }
+    group.finish();
+}
+
+fn bench_retire_fast_path(c: &mut Criterion) {
+    // The non-triggering retire: one SPSC push + boundary bookkeeping.
+    c.bench_function("retire_fast_path", |b| {
+        let collector = Collector::with_config(
+            SignalPlatform::new().expect("signals"),
+            CollectorConfig::default().with_buffer_capacity(1 << 22),
+        );
+        let handle = collector.register();
+        b.iter(|| {
+            let node = Box::into_raw(Box::new(0u64));
+            // SAFETY: fresh node, never shared.
+            unsafe { handle.retire(node) };
+        });
+        handle.flush();
+        drop(handle);
+    });
+}
+
+criterion_group!(benches, bench_collect_phase, bench_retire_fast_path);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Micro: signal round-trip latency.
+//!
+//! The reclaimer's fixed cost per phase is one signal to every registered
+//! thread plus the wait for all acknowledgments (Algorithm 1 lines 3-9).
+//! This measures a full forced collect of a single node while `k`
+//! registered peer threads run application-like work — i.e. the latency of
+//! "signal everyone, everyone scans, everyone acks".
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use threadscan::{Collector, CollectorConfig};
+use ts_sigscan::SignalPlatform;
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signal_roundtrip");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &peers in &[0usize, 1, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(peers), &peers, |b, &peers| {
+            let collector = Collector::with_config(
+                SignalPlatform::new().expect("signals"),
+                CollectorConfig::default(),
+            );
+            let stop = Arc::new(AtomicBool::new(false));
+            let mut joins = Vec::new();
+            for _ in 0..peers {
+                let collector = Arc::clone(&collector);
+                let stop = Arc::clone(&stop);
+                joins.push(std::thread::spawn(move || {
+                    let _handle = collector.register();
+                    // Busy application work with a deep-ish stack.
+                    #[inline(never)]
+                    fn work(d: usize) -> usize {
+                        let z = black_box([d; 16]);
+                        if d == 0 {
+                            z[0]
+                        } else {
+                            work(d - 1) + z[15]
+                        }
+                    }
+                    let mut acc = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        acc = acc.wrapping_add(work(16));
+                    }
+                    black_box(acc);
+                }));
+            }
+            let handle = collector.register();
+            // Warm-up: let the peers register.
+            while collector.platform().registered_threads() < peers + 1 {
+                std::thread::yield_now();
+            }
+            b.iter(|| {
+                let node = Box::into_raw(Box::new([0u8; 64]));
+                // SAFETY: fresh node, never shared.
+                unsafe { handle.retire(node) };
+                handle.flush(); // one full signal round
+            });
+            stop.store(true, Ordering::Relaxed);
+            drop(handle);
+            for j in joins {
+                j.join().unwrap();
+            }
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,224 @@
+//! Micro: single-threaded operation latency per structure per scheme.
+//!
+//! Isolates the *instrumentation* cost each scheme adds to the data
+//! structure (the per-read fences of hazard pointers, the per-op counter
+//! writes of epochs, ThreadScan's nothing) without any concurrency.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ts_smr::{EpochScheme, HazardPointers, Leaky, Smr, ThreadScanSmr};
+use ts_sigscan::SignalPlatform;
+use ts_structures::{
+    ConcurrentSet, HarrisList, LockFreeHashTable, PriorityQueue, SkipList, SplitOrderedSet,
+    PQ_REQUIRED_SLOTS, REQUIRED_SLOTS,
+};
+
+const PREFILL: u64 = 512;
+const RANGE: u64 = 1024;
+
+fn drive_ops<S: Smr, T: ConcurrentSet<S>>(scheme: &S, set: &T) -> u64 {
+    let h = scheme.register();
+    let mut acc = 0u64;
+    // A fixed op cycle: lookup-heavy with some churn.
+    for i in 0..128u64 {
+        let k = (i * 37) % RANGE;
+        acc += set.contains(&h, k) as u64;
+        if i % 8 == 0 {
+            set.remove(&h, k);
+            set.insert(&h, k);
+        }
+    }
+    acc
+}
+
+fn prefill<S: Smr, T: ConcurrentSet<S>>(scheme: &S, set: &T) {
+    let h = scheme.register();
+    for k in 0..PREFILL {
+        set.insert(&h, k * 2);
+    }
+}
+
+macro_rules! bench_scheme {
+    ($group:expr, $label:expr, $scheme:expr, $mk_set:expr) => {{
+        let scheme = $scheme;
+        let set = $mk_set;
+        prefill(&scheme, &set);
+        $group.bench_function(BenchmarkId::new($label, "ops128"), |b| {
+            b.iter(|| black_box(drive_ops(&scheme, &set)))
+        });
+    }};
+}
+
+fn bench_list(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list_ops");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    bench_scheme!(group, "leaky", Leaky::new(), HarrisList::<Leaky>::new());
+    bench_scheme!(
+        group,
+        "hazard",
+        HazardPointers::with_params(REQUIRED_SLOTS, 64),
+        HarrisList::<HazardPointers>::new()
+    );
+    bench_scheme!(
+        group,
+        "epoch",
+        EpochScheme::with_threshold(1024),
+        HarrisList::<EpochScheme>::new()
+    );
+    bench_scheme!(
+        group,
+        "threadscan",
+        ThreadScanSmr::new(SignalPlatform::new().expect("signals")),
+        HarrisList::<ThreadScanSmr<SignalPlatform>>::new()
+    );
+    group.finish();
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_ops");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    bench_scheme!(
+        group,
+        "leaky",
+        Leaky::new(),
+        LockFreeHashTable::<Leaky>::new(64)
+    );
+    bench_scheme!(
+        group,
+        "hazard",
+        HazardPointers::with_params(REQUIRED_SLOTS, 64),
+        LockFreeHashTable::<HazardPointers>::new(64)
+    );
+    bench_scheme!(
+        group,
+        "epoch",
+        EpochScheme::with_threshold(1024),
+        LockFreeHashTable::<EpochScheme>::new(64)
+    );
+    bench_scheme!(
+        group,
+        "threadscan",
+        ThreadScanSmr::new(SignalPlatform::new().expect("signals")),
+        LockFreeHashTable::<ThreadScanSmr<SignalPlatform>>::new(64)
+    );
+    group.finish();
+}
+
+fn bench_skip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skiplist_ops");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    bench_scheme!(group, "leaky", Leaky::new(), SkipList::<Leaky>::new());
+    bench_scheme!(
+        group,
+        "hazard",
+        HazardPointers::with_params(REQUIRED_SLOTS, 64),
+        SkipList::<HazardPointers>::new()
+    );
+    bench_scheme!(
+        group,
+        "epoch",
+        EpochScheme::with_threshold(1024),
+        SkipList::<EpochScheme>::new()
+    );
+    bench_scheme!(
+        group,
+        "threadscan",
+        ThreadScanSmr::new(SignalPlatform::new().expect("signals")),
+        SkipList::<ThreadScanSmr<SignalPlatform>>::new()
+    );
+    group.finish();
+}
+
+fn bench_split_ordered(c: &mut Criterion) {
+    let mut group = c.benchmark_group("split_ordered_ops");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    bench_scheme!(
+        group,
+        "leaky",
+        Leaky::new(),
+        SplitOrderedSet::<Leaky>::with_buckets(64)
+    );
+    bench_scheme!(
+        group,
+        "hazard",
+        HazardPointers::with_params(REQUIRED_SLOTS, 64),
+        SplitOrderedSet::<HazardPointers>::with_buckets(64)
+    );
+    bench_scheme!(
+        group,
+        "epoch",
+        EpochScheme::with_threshold(1024),
+        SplitOrderedSet::<EpochScheme>::with_buckets(64)
+    );
+    bench_scheme!(
+        group,
+        "threadscan",
+        ThreadScanSmr::new(SignalPlatform::new().expect("signals")),
+        SplitOrderedSet::<ThreadScanSmr<SignalPlatform>>::with_buckets(64)
+    );
+    group.finish();
+}
+
+/// Priority-queue cycle: insert a batch, drain it back — every iteration
+/// retires 64 nodes through the scheme.
+fn pq_cycle<S: Smr>(scheme: &S, pq: &PriorityQueue<S>, base: &mut u64) -> u64 {
+    let h = scheme.register();
+    let mut acc = 0u64;
+    for i in 0..64u64 {
+        pq.insert(&h, *base + i * 13 % 509);
+    }
+    for _ in 0..64u64 {
+        if let Some(k) = pq.delete_min(&h) {
+            acc ^= k;
+        }
+    }
+    *base = base.wrapping_add(1024);
+    acc
+}
+
+fn bench_priority_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("priority_queue_cycle");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    macro_rules! bench_pq {
+        ($label:expr, $scheme:expr, $ty:ty) => {{
+            let scheme = $scheme;
+            let pq = PriorityQueue::<$ty>::new();
+            let mut base = 1u64 << 32;
+            group.bench_function(BenchmarkId::new($label, "ins64+del64"), |b| {
+                b.iter(|| black_box(pq_cycle(&scheme, &pq, &mut base)))
+            });
+        }};
+    }
+    bench_pq!("leaky", Leaky::new(), Leaky);
+    bench_pq!(
+        "hazard",
+        HazardPointers::with_params(PQ_REQUIRED_SLOTS, 64),
+        HazardPointers
+    );
+    bench_pq!("epoch", EpochScheme::with_threshold(1024), EpochScheme);
+    bench_pq!(
+        "threadscan",
+        ThreadScanSmr::new(SignalPlatform::new().expect("signals")),
+        ThreadScanSmr<SignalPlatform>
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_list,
+    bench_hash,
+    bench_skip,
+    bench_split_ordered,
+    bench_priority_queue
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Ablation I: the allocator substrate (§6 setup: "we used the highly
+//! scalable TCMalloc allocator").
+//!
+//! This binary is the same Figure-3 list/hash cells as `fig3_throughput`,
+//! but with [`ts_alloc::TsAlloc`] — this repo's TCMalloc-style
+//! thread-caching allocator — installed as the global allocator. A
+//! global allocator is per-binary, so compare these rows against the
+//! matching system-allocator rows from `fig3_throughput` (EXPERIMENTS.md
+//! records both). The allocator's own amortization counters are printed
+//! to verify the thread caches actually absorbed the traffic.
+
+use std::time::Duration;
+
+use ts_alloc::TsAlloc;
+use ts_bench::cli::{machine_info, CliArgs};
+use ts_workload::{run_combo, Report, SchemeKind, StructureKind, WorkloadParams};
+
+#[global_allocator]
+static ALLOC: TsAlloc = TsAlloc;
+
+fn main() {
+    let args = CliArgs::parse();
+    let quick = args.get_flag("quick");
+    let duration = Duration::from_secs_f64(args.get_f64(
+        "duration",
+        if quick { 0.25 } else { 1.5 },
+    ));
+    let scale = args.get_usize("scale", if quick { 64 } else { 1 });
+    let threads_list = args.get_usize_list("threads", &[2, 4]);
+    let schemes = [SchemeKind::Leaky, SchemeKind::Epoch, SchemeKind::ThreadScan];
+
+    println!("# Ablation I: ts-alloc substrate ({})", machine_info());
+    println!("# global allocator = ts-alloc (thread-caching); compare vs fig3 rows");
+    println!("# duration={duration:?} scale=1/{scale} update%=20");
+
+    let mut report = Report::new("ablation-allocator");
+    for structure in [StructureKind::List, StructureKind::Hash] {
+        println!("\n## structure={}", structure.label());
+        println!(
+            "{:>8} {:>14} {:>14} {:>14}",
+            "threads", "leaky", "epoch", "threadscan"
+        );
+        for &threads in &threads_list {
+            let mut row = format!("{threads:>8}");
+            for scheme in schemes {
+                let params = WorkloadParams::fig3(structure, threads)
+                    .scaled_down(scale)
+                    .with_duration(duration);
+                let r = run_combo(scheme, &params);
+                row.push_str(&format!("{:>14.3}", r.ops_per_sec / 1e6));
+                report.push(r);
+            }
+            println!("{row}");
+        }
+    }
+
+    let s = ts_alloc::stats();
+    println!("\n# allocator counters:");
+    println!("#   small allocs     {:>12}", s.small_allocs);
+    println!("#   small frees      {:>12}", s.small_frees);
+    println!("#   spans carved     {:>12} ({} MiB)", s.spans, s.span_bytes >> 20);
+    println!("#   depot locks      {:>12}", s.cache_fills + s.cache_flushes);
+    println!("#   allocs per lock  {:>12.1}", s.allocs_per_lock());
+
+    if let Some(path) = args.get("json") {
+        report
+            .write_json(std::path::Path::new(path))
+            .expect("write json");
+        println!("# json written to {path}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 4 regeneration: throughput under oversubscription (more threads
+//! than hardware contexts) for {Leaky, Epoch, ThreadScan}.
+//!
+//! "Slow Epoch and Hazard Pointers were not included in the
+//! oversubscription experiment since they were shown not to scale well in
+//! normal circumstances" (§6). The hash table additionally gets the tuned
+//! ThreadScan line with 4096-entry per-thread buffers ("ThreadScan was
+//! tuned for the hash table to improve performance").
+//!
+//! ```text
+//! cargo run -p ts-bench --release --bin fig4_oversub -- \
+//!     [--duration 2.0] [--repeats 2] [--threads ...] [--scale 1] [--json out]
+//! ```
+
+use std::time::Duration;
+
+use ts_bench::cli::{machine_info, oversub_ladder, CliArgs};
+use ts_workload::{run_combo, Report, SchemeKind, StructureKind, WorkloadParams};
+
+fn main() {
+    let args = CliArgs::parse();
+    let quick = args.get_flag("quick");
+    let duration = Duration::from_secs_f64(args.get_f64(
+        "duration",
+        if quick { 0.25 } else { 2.0 },
+    ));
+    let repeats = args.get_usize("repeats", if quick { 1 } else { 2 });
+    let scale = args.get_usize("scale", if quick { 64 } else { 1 });
+    let threads = args.get_usize_list(
+        "threads",
+        &if quick { vec![2, 4] } else { oversub_ladder() },
+    );
+
+    println!("# Figure 4: oversubscription ({})", machine_info());
+    println!(
+        "# duration={duration:?} repeats={repeats} scale=1/{scale} threads={threads:?}"
+    );
+
+    let mut report = Report::new("fig4");
+    for structure in StructureKind::ALL {
+        for &t in &threads {
+            for scheme in SchemeKind::OVERSUB {
+                let params = WorkloadParams::fig3(structure, t)
+                    .scaled_down(scale)
+                    .with_duration(duration);
+                run_cell(&mut report, scheme, &params, repeats, None);
+
+                // The tuned line: hash table + ThreadScan + 4096 buffers.
+                if structure == StructureKind::Hash && scheme == SchemeKind::ThreadScan {
+                    let tuned = params.clone().with_ts_buffer(4096);
+                    run_cell(
+                        &mut report,
+                        scheme,
+                        &tuned,
+                        repeats,
+                        Some("threadscan-4096"),
+                    );
+                }
+            }
+        }
+    }
+
+    println!("{}", report.render_series());
+    if let Some(path) = args.get("json") {
+        report
+            .write_json(std::path::Path::new(path))
+            .expect("write json");
+        println!("# json written to {path}");
+    }
+}
+
+fn run_cell(
+    report: &mut Report,
+    scheme: SchemeKind,
+    params: &WorkloadParams,
+    repeats: usize,
+    rename: Option<&str>,
+) {
+    let mut acc = 0.0f64;
+    let mut last = None;
+    for _ in 0..repeats {
+        let r = run_combo(scheme, params);
+        acc += r.ops_per_sec;
+        last = Some(r);
+    }
+    let mut r = last.expect("repeats >= 1");
+    r.ops_per_sec = acc / repeats as f64;
+    if let Some(name) = rename {
+        r.scheme = name.to_string();
+    }
+    eprintln!(
+        "  {:9} {:16} t={:<4} {:>10.3} Mops/s",
+        r.structure,
+        r.scheme,
+        params.threads,
+        r.ops_per_sec / 1e6
+    );
+    report.push(r);
+}

@@ -1,0 +1,152 @@
+//! Tiny `--key value` argument parsing shared by the figure binaries
+//! (keeps the workspace free of CLI dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` arguments.
+pub struct CliArgs {
+    map: HashMap<String, String>,
+}
+
+impl CliArgs {
+    /// Parses `std::env::args()`, accepting `--key value` and `--flag`.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (tests).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut map = HashMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().unwrap(),
+                    _ => "true".to_string(),
+                };
+                map.insert(key.to_string(), value);
+            }
+        }
+        Self { map }
+    }
+
+    /// String value for `key`.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+
+    /// `usize` value with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// `f64` value with a default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// Boolean flag.
+    pub fn get_flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
+    }
+
+    /// Comma-separated usize list with a default.
+    pub fn get_usize_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        match self.get(key) {
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--{key} expects numbers, got {s:?}"))
+                })
+                .collect(),
+            None => default.to_vec(),
+        }
+    }
+}
+
+/// Default thread ladder for throughput sweeps: powers of two through
+/// `2 × hardware threads` (the paper sweeps 1→80 on a 40-core × 2 SMT
+/// box; we scale to whatever this machine has).
+pub fn thread_ladder() -> Vec<usize> {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut ladder = vec![1usize];
+    let mut t = 2;
+    while t <= hw * 2 {
+        ladder.push(t);
+        t *= 2;
+    }
+    if ladder.last() != Some(&(hw * 2)) {
+        ladder.push(hw * 2);
+    }
+    ladder.dedup();
+    ladder
+}
+
+/// Oversubscription ladder: 1× to ~2.5× hardware threads (Figure 4 runs
+/// to 200 threads on an 80-thread machine).
+pub fn oversub_ladder() -> Vec<usize> {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let steps = [1.0f64, 1.25, 1.5, 2.0, 2.5];
+    let mut out: Vec<usize> = steps
+        .iter()
+        .map(|s| ((hw as f64) * s).round().max(2.0) as usize)
+        .collect();
+    out.dedup();
+    out
+}
+
+/// Machine description for result metadata.
+pub fn machine_info() -> String {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    format!(
+        "{} hardware threads, {} {}",
+        hw,
+        std::env::consts::ARCH,
+        std::env::consts::OS
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> CliArgs {
+        CliArgs::from_args(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_key_values_and_flags() {
+        let a = args(&["--duration", "2.5", "--quick", "--threads", "1,2,4"]);
+        assert_eq!(a.get_f64("duration", 1.0), 2.5);
+        assert!(a.get_flag("quick"));
+        assert_eq!(a.get_usize_list("threads", &[9]), vec![1, 2, 4]);
+        assert_eq!(a.get_usize("missing", 7), 7);
+    }
+
+    #[test]
+    fn ladders_are_sane() {
+        let l = thread_ladder();
+        assert_eq!(l[0], 1);
+        assert!(l.windows(2).all(|w| w[0] < w[1]));
+        let o = oversub_ladder();
+        assert!(o.iter().all(|&t| t >= 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a number")]
+    fn bad_number_panics() {
+        args(&["--n", "abc"]).get_usize("n", 0);
+    }
+}

@@ -1,0 +1,581 @@
+//! The collector: retire buffering, the reclaimer lock, and `TS-Collect`.
+//!
+//! Mirrors §4 of the paper:
+//!
+//! * each registered thread owns a circular delete buffer
+//!   ([`crate::buffer::LocalBuffer`]);
+//! * the thread that fills its buffer becomes the **reclaimer**, serialized
+//!   by a lock ("we ensure that there is always at most a single active
+//!   reclaimer in the system via a lock");
+//! * the reclaimer aggregates every thread's buffer into a master buffer,
+//!   sorts it, has every thread scan (via the [`Platform`]), then frees
+//!   unmarked nodes and carries marked survivors into the next phase;
+//! * a thread that blocked on the reclaimer lock re-checks its buffer and
+//!   "will probably discover that its buffer has been drained ... and that
+//!   it can go back to work".
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::buffer::LocalBuffer;
+use crate::config::CollectorConfig;
+use crate::errors::HeapBlockError;
+use crate::master::MasterBuffer;
+use crate::platform::Platform;
+use crate::retired::{DropFn, Retired};
+use crate::roots::ThreadRoots;
+use crate::selfscan::{capture_context, SelfScanContext};
+use crate::stats::{CollectorStats, StatsSnapshot};
+
+/// State protected by the reclaimer lock.
+struct ReclaimState {
+    /// Marked nodes from the previous phase, re-examined next phase.
+    survivors: Vec<Retired>,
+}
+
+/// A ThreadScan collector.
+///
+/// Create one per logical region of shared data (typically one per data
+/// structure or one per process), register every thread that accesses the
+/// data, and hand unlinked nodes to [`ThreadHandle::retire`].
+pub struct Collector<P: Platform> {
+    platform: Arc<P>,
+    config: CollectorConfig,
+    reclaim: Mutex<ReclaimState>,
+    /// All live per-thread buffers (drained by the reclaimer under the
+    /// reclaimer lock, which serializes readers).
+    buffers: Mutex<Vec<Arc<LocalBuffer>>>,
+    /// Records left behind by unregistered threads; folded into the next
+    /// phase.
+    orphans: Mutex<Vec<Retired>>,
+    /// §7 distributed-free extension: reclaimable nodes awaiting a free by
+    /// whichever thread next interacts with the collector.
+    free_queue: Mutex<VecDeque<Retired>>,
+    stats: CollectorStats,
+}
+
+impl<P: Platform> Collector<P> {
+    /// Creates a collector with the paper-default configuration.
+    pub fn new(platform: P) -> Arc<Self> {
+        Self::with_config(platform, CollectorConfig::default())
+    }
+
+    /// Creates a collector with an explicit configuration.
+    pub fn with_config(platform: P, config: CollectorConfig) -> Arc<Self> {
+        Arc::new(Self {
+            platform: Arc::new(platform),
+            config,
+            reclaim: Mutex::new(ReclaimState {
+                survivors: Vec::new(),
+            }),
+            buffers: Mutex::new(Vec::new()),
+            orphans: Mutex::new(Vec::new()),
+            free_queue: Mutex::new(VecDeque::new()),
+            stats: CollectorStats::default(),
+        })
+    }
+
+    /// Registers the calling thread. All threads that read or mutate the
+    /// protected data structure must hold a handle while doing so.
+    pub fn register(self: &Arc<Self>) -> ThreadHandle<P> {
+        let buffer = Arc::new(LocalBuffer::new(self.config.buffer_capacity));
+        let roots = Arc::new(ThreadRoots::new(self.config.max_heap_blocks));
+        self.buffers.lock().push(Arc::clone(&buffer));
+        let token = self.platform.register_current(Arc::clone(&roots));
+        ThreadHandle {
+            collector: Arc::clone(self),
+            buffer,
+            roots,
+            token: Some(token),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// The collector's configuration.
+    pub fn config(&self) -> &CollectorConfig {
+        &self.config
+    }
+
+    /// The underlying platform.
+    pub fn platform(&self) -> &P {
+        &self.platform
+    }
+
+    /// A snapshot of lifetime statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Nodes currently awaiting a later phase (marked survivors), orphaned
+    /// records, and queued distributed frees. Diagnostic; racy by nature.
+    pub fn pending_estimate(&self) -> usize {
+        self.reclaim.lock().survivors.len()
+            + self.orphans.lock().len()
+            + self.free_queue.lock().len()
+    }
+
+    /// Forces a full reclamation phase now, regardless of buffer fullness,
+    /// and drains the distributed-free queue. Useful at quiescent points
+    /// and in tests.
+    pub fn collect_now(&self) {
+        // Boundary snapshot: the caller's frames (above this call) are
+        // application memory; everything below is collector machinery.
+        let ctx = capture_context();
+        let mut state = self.reclaim.lock();
+        self.collect_locked(&mut state, &ctx);
+        drop(state);
+        self.drain_free_queue(usize::MAX);
+    }
+
+    /// Triggered collect: called when `trigger`'s owner found it full.
+    /// `ctx` was captured at the retire boundary.
+    fn collect_for(&self, trigger: &LocalBuffer, ctx: &SelfScanContext) {
+        let mut state = self.reclaim.lock();
+        if !trigger.is_full() {
+            // Another reclaimer drained us while we waited for the lock —
+            // back to work (paper §4.2, "Reclamation").
+            self.stats.add(&self.stats.collects_skipped, 1);
+            return;
+        }
+        self.collect_locked(&mut state, ctx);
+    }
+
+    /// One reclamation phase. Caller holds the reclaimer lock.
+    fn collect_locked(&self, state: &mut ReclaimState, ctx: &SelfScanContext) {
+        let mut entries = std::mem::take(&mut state.survivors);
+        entries.append(&mut self.orphans.lock());
+        let buffers: Vec<Arc<LocalBuffer>> = self.buffers.lock().clone();
+        for buf in &buffers {
+            // SAFETY: the reclaimer lock makes this thread the single
+            // reader of every registered buffer.
+            unsafe { buf.drain_into(&mut entries) };
+        }
+        if entries.is_empty() {
+            return;
+        }
+        let phase_start = std::time::Instant::now();
+
+        let master = MasterBuffer::new(entries, &self.config);
+        let session = master.session();
+        let outcome = self.platform.scan_all(&session, ctx);
+
+        self.stats.add(&self.stats.collects, 1);
+        self.stats
+            .add(&self.stats.threads_scanned, outcome.threads_scanned);
+        self.stats
+            .add(&self.stats.words_scanned, session.words_scanned());
+        self.stats.add(&self.stats.mark_hits, session.hits());
+        drop(session);
+
+        let (reclaimable, survivors) = master.partition();
+        self.stats.add(&self.stats.survivors, survivors.len());
+        state.survivors = survivors;
+
+        if self.config.distribute_frees {
+            self.free_queue.lock().extend(reclaimable);
+        } else {
+            let n = reclaimable.len();
+            for r in reclaimable {
+                // SAFETY: the scan protocol established that no registered
+                // thread holds a reference (Lemma 1).
+                unsafe { r.reclaim() };
+            }
+            self.stats.add(&self.stats.freed, n);
+        }
+
+        // Reclaimer-side latency (sort + broadcast + ack wait + sweep):
+        // the §7 responsiveness number, measured where the paper's future
+        // work proposes to attack it.
+        let ns = phase_start.elapsed().as_nanos().min(usize::MAX as u128) as usize;
+        self.stats.add(&self.stats.collect_ns_total, ns);
+        self.stats.raise(&self.stats.collect_ns_max, ns);
+    }
+
+    /// Frees up to `max` queued nodes from the distributed-free queue.
+    /// Returns how many were freed.
+    pub fn drain_free_queue(&self, max: usize) -> usize {
+        // `try_lock` keeps the fast path of `retire` contention-free.
+        let batch: Vec<Retired> = match self.free_queue.try_lock() {
+            Some(mut q) => {
+                let n = q.len().min(max);
+                q.drain(..n).collect()
+            }
+            None => return 0,
+        };
+        let n = batch.len();
+        for r in batch {
+            // SAFETY: nodes only enter the queue after a completed scan
+            // phase proved them unreferenced.
+            unsafe { r.reclaim() };
+        }
+        if n > 0 {
+            self.stats.add(&self.stats.freed, n);
+            self.stats.add(&self.stats.distributed_frees, n);
+        }
+        n
+    }
+
+    fn unregister_buffer(&self, buffer: &Arc<LocalBuffer>) {
+        // Serialize with any in-flight collect so that draining our buffer
+        // into `orphans` has a single reader.
+        let _state = self.reclaim.lock();
+        let mut orphans = self.orphans.lock();
+        // SAFETY: holding the reclaimer lock makes us the sole reader.
+        unsafe { buffer.drain_into(&mut orphans) };
+        drop(orphans);
+        self.buffers.lock().retain(|b| !Arc::ptr_eq(b, buffer));
+    }
+}
+
+impl<P: Platform> Drop for Collector<P> {
+    fn drop(&mut self) {
+        // No handles can exist (they hold an Arc to us), so no thread can
+        // still reference any retired node: reclaim everything outstanding.
+        let state = self.reclaim.get_mut();
+        let mut leftovers = std::mem::take(&mut state.survivors);
+        leftovers.append(self.orphans.get_mut());
+        for buf in self.buffers.get_mut().drain(..) {
+            debug_assert!(
+                buf.is_empty(),
+                "live buffer at collector drop: a ThreadHandle outlived its Collector Arc?"
+            );
+            // SAFETY: exclusive access via &mut self.
+            unsafe { buf.drain_into(&mut leftovers) };
+        }
+        leftovers.extend(self.free_queue.get_mut().drain(..));
+        let n = leftovers.len();
+        for r in leftovers {
+            // SAFETY: see above — no handle, hence no referencing thread.
+            unsafe { r.reclaim() };
+        }
+        self.stats.add(&self.stats.freed, n);
+    }
+}
+
+/// Per-thread access to a [`Collector`]. Not `Send`: it is bound to the
+/// thread that called [`Collector::register`] (its stack is what gets
+/// scanned on this thread's behalf).
+pub struct ThreadHandle<P: Platform> {
+    collector: Arc<Collector<P>>,
+    buffer: Arc<LocalBuffer>,
+    roots: Arc<ThreadRoots>,
+    token: Option<P::ThreadToken>,
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl<P: Platform> ThreadHandle<P> {
+    /// Retires a node previously allocated as `Box<T>` and since unlinked
+    /// from all shared references. The collector will drop the box once no
+    /// registered thread's private memory can reach it.
+    ///
+    /// This is the entire integration surface of ThreadScan: "the
+    /// programmer just needs to pass nodes to its interface".
+    ///
+    /// # Safety
+    ///
+    /// * `ptr` came from `Box::<T>::into_raw` and is retired at most once.
+    /// * The node is unreachable from shared memory (Assumption 1.1).
+    /// * Threads that may still hold private references are registered with
+    ///   this collector and do not hide pointers (Assumption 1.3).
+    pub unsafe fn retire<T>(&self, ptr: *mut T) {
+        self.retire_record(Retired::of_box(ptr));
+    }
+
+    /// Retires an allocation described by raw parts; see
+    /// [`Retired::from_raw_parts`].
+    ///
+    /// # Safety
+    ///
+    /// Same as [`Self::retire`], with `drop_fn(addr as *mut u8)` sound to
+    /// call exactly once.
+    pub unsafe fn retire_raw(&self, addr: usize, size: usize, drop_fn: DropFn) {
+        self.retire_record(Retired::from_raw_parts(addr, size, drop_fn));
+    }
+
+    fn retire_record(&self, record: Retired) {
+        self.collector.stats.add(&self.collector.stats.retired, 1);
+        if self.collector.config.distribute_frees {
+            self.collector
+                .drain_free_queue(self.collector.config.distributed_free_batch);
+        }
+        let mut record = record;
+        loop {
+            // SAFETY: this handle's thread is the buffer's only producer.
+            match unsafe { self.buffer.push(record) } {
+                Ok(()) => {
+                    if self.buffer.is_full() {
+                        // We inserted the last node: we become the
+                        // reclaimer. Snapshot the application boundary
+                        // before entering the machinery.
+                        let ctx = capture_context();
+                        self.collector.collect_for(&self.buffer, &ctx);
+                    }
+                    return;
+                }
+                Err(rejected) => {
+                    record = rejected;
+                    let ctx = capture_context();
+                    self.collector.collect_for(&self.buffer, &ctx);
+                }
+            }
+        }
+    }
+
+    /// Registers a heap block holding private references
+    /// (`TS_add_heap_block`, §4.3). The block is scanned as part of this
+    /// thread's roots until removed.
+    ///
+    /// The block must stay allocated until [`Self::remove_heap_block`] or
+    /// until this handle is dropped.
+    pub fn add_heap_block(&self, start: *const u8, len: usize) -> Result<(), HeapBlockError> {
+        self.roots.add_heap_block(start, len)
+    }
+
+    /// Unregisters a heap block (`TS_remove_heap_block`, §4.3).
+    pub fn remove_heap_block(&self, start: *const u8) -> Result<(), HeapBlockError> {
+        self.roots.remove_heap_block(start)
+    }
+
+    /// The collector this handle belongs to.
+    pub fn collector(&self) -> &Arc<Collector<P>> {
+        &self.collector
+    }
+
+    /// Number of nodes currently waiting in this thread's delete buffer.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Forces a reclamation phase (including this thread's buffered nodes).
+    pub fn flush(&self) {
+        self.collector.collect_now();
+    }
+}
+
+impl<P: Platform> Drop for ThreadHandle<P> {
+    fn drop(&mut self) {
+        self.collector.unregister_buffer(&self.buffer);
+        // Unregister from the platform only after the buffer is out of the
+        // registry; the reclaimer lock acquired above has been released, but
+        // any *new* collect will simply no longer signal us — and we no
+        // longer contribute roots, which is sound because this thread can
+        // only lose references by returning from the code that held them.
+        drop(self.token.take());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{NullPlatform, ScanOutcome};
+    use crate::session::ScanSession;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Counts drops so tests can observe reclamation.
+    struct Node {
+        counter: Arc<AtomicUsize>,
+        _pad: [u8; 24],
+    }
+    impl Drop for Node {
+        fn drop(&mut self) {
+            self.counter.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    fn node(counter: &Arc<AtomicUsize>) -> *mut Node {
+        Box::into_raw(Box::new(Node {
+            counter: Arc::clone(counter),
+            _pad: [0; 24],
+        }))
+    }
+
+    /// A platform whose "threads" report a configurable set of rooted
+    /// words: lets tests pin specific nodes as still-referenced.
+    #[derive(Default)]
+    struct PinPlatform {
+        rooted: Mutex<Vec<usize>>,
+        rounds: AtomicUsize,
+    }
+    // SAFETY (test double): the only "registered thread" root set is
+    // `rooted`, which scan_all scans in full before acking.
+    unsafe impl Platform for PinPlatform {
+        type ThreadToken = ();
+        fn register_current(&self, _roots: Arc<ThreadRoots>) -> Self::ThreadToken {}
+        fn scan_all(&self, session: &ScanSession<'_>, _ctx: &SelfScanContext) -> ScanOutcome {
+            self.rounds.fetch_add(1, Ordering::SeqCst);
+            session.scan_words(&self.rooted.lock());
+            session.ack();
+            ScanOutcome { threads_scanned: 1 }
+        }
+    }
+
+    #[test]
+    fn buffer_fill_triggers_collect_and_frees_everything() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let collector =
+            Collector::with_config(NullPlatform, CollectorConfig::default().with_buffer_capacity(8));
+        let handle = collector.register();
+        for _ in 0..8 {
+            unsafe { handle.retire(node(&counter)) };
+        }
+        // Inserting the 8th node made this thread the reclaimer.
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        let snap = collector.stats();
+        assert_eq!(snap.collects, 1);
+        assert_eq!(snap.retired, 8);
+        assert_eq!(snap.freed, 8);
+        drop(handle);
+    }
+
+    #[test]
+    fn pinned_nodes_survive_and_are_freed_once_unpinned() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let platform = PinPlatform::default();
+        let pinned = node(&counter);
+        platform.rooted.lock().push(pinned as usize);
+        let collector = Collector::with_config(
+            platform,
+            CollectorConfig::default().with_buffer_capacity(4),
+        );
+        let handle = collector.register();
+
+        unsafe { handle.retire(pinned) };
+        for _ in 0..3 {
+            unsafe { handle.retire(node(&counter)) };
+        }
+        // First phase: 3 freed, the pinned one survives.
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+        assert_eq!(collector.pending_estimate(), 1);
+
+        // Drop the "reference" and force another phase.
+        collector.platform().rooted.lock().clear();
+        collector.collect_now();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+        assert_eq!(collector.pending_estimate(), 0);
+        drop(handle);
+    }
+
+    #[test]
+    fn interior_pointer_pins_node_in_range_mode() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let platform = PinPlatform::default();
+        let pinned = node(&counter);
+        // Point 8 bytes into the allocation.
+        platform.rooted.lock().push(pinned as usize + 8);
+        let collector = Collector::with_config(
+            platform,
+            CollectorConfig::default().with_buffer_capacity(2),
+        );
+        let handle = collector.register();
+        unsafe { handle.retire(pinned) };
+        unsafe { handle.retire(node(&counter)) };
+        assert_eq!(counter.load(Ordering::SeqCst), 1, "interior ref must pin");
+        drop(handle);
+        drop(collector);
+        assert_eq!(
+            counter.load(Ordering::SeqCst),
+            2,
+            "collector drop reclaims survivors"
+        );
+    }
+
+    #[test]
+    fn collect_now_on_empty_collector_is_a_noop() {
+        let collector = Collector::new(NullPlatform);
+        collector.collect_now();
+        assert_eq!(collector.stats().collects, 0);
+    }
+
+    #[test]
+    fn handle_drop_orphans_are_reclaimed_by_next_collect() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let collector = Collector::with_config(
+            NullPlatform,
+            CollectorConfig::default().with_buffer_capacity(64),
+        );
+        let handle = collector.register();
+        for _ in 0..5 {
+            unsafe { handle.retire(node(&counter)) };
+        }
+        drop(handle); // 5 records become orphans
+        assert_eq!(counter.load(Ordering::SeqCst), 0);
+        collector.collect_now();
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn distributed_frees_are_performed_by_retiring_threads() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let collector = Collector::with_config(
+            NullPlatform,
+            CollectorConfig::default()
+                .with_buffer_capacity(4)
+                .with_distributed_frees(true),
+        );
+        let handle = collector.register();
+        for _ in 0..4 {
+            unsafe { handle.retire(node(&counter)) };
+        }
+        // The collect published 4 nodes to the queue instead of freeing.
+        assert_eq!(counter.load(Ordering::SeqCst), 0);
+        assert_eq!(collector.pending_estimate(), 4);
+        // The next retire drains a batch.
+        unsafe { handle.retire(node(&counter)) };
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+        let snap = collector.stats();
+        assert_eq!(snap.distributed_frees, 4);
+        drop(handle);
+        drop(collector);
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn multithreaded_retire_reclaims_all_nodes() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 2000;
+        let counter = Arc::new(AtomicUsize::new(0));
+        let collector = Collector::with_config(
+            NullPlatform,
+            CollectorConfig::default().with_buffer_capacity(32),
+        );
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let collector = Arc::clone(&collector);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    let handle = collector.register();
+                    for _ in 0..PER_THREAD {
+                        unsafe { handle.retire(node(&counter)) };
+                    }
+                });
+            }
+        });
+        collector.collect_now();
+        assert_eq!(counter.load(Ordering::SeqCst), THREADS * PER_THREAD);
+        let snap = collector.stats();
+        assert_eq!(snap.retired, THREADS * PER_THREAD);
+        assert_eq!(snap.freed, THREADS * PER_THREAD);
+        assert!(snap.collects >= THREADS * PER_THREAD / 32 / 2);
+    }
+
+    #[test]
+    fn stats_track_scan_volume() {
+        let platform = PinPlatform::default();
+        platform.rooted.lock().extend([1usize, 2, 3]);
+        let collector = Collector::with_config(
+            platform,
+            CollectorConfig::default().with_buffer_capacity(2),
+        );
+        let handle = collector.register();
+        let counter = Arc::new(AtomicUsize::new(0));
+        unsafe { handle.retire(node(&counter)) };
+        unsafe { handle.retire(node(&counter)) };
+        let snap = collector.stats();
+        assert_eq!(snap.collects, 1);
+        assert_eq!(snap.threads_scanned, 1);
+        assert_eq!(snap.words_scanned, 3);
+        drop(handle);
+    }
+}

@@ -1,0 +1,135 @@
+//! Collector configuration.
+//!
+//! Defaults follow the paper's experimental setup (§6): 1024 pointers per
+//! thread, with the hash-table experiments in Figure 4 tuned to 4096.
+
+/// How a scanned word is matched against the sorted delete buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatchMode {
+    /// Mark node `i` when a scanned word `w` satisfies
+    /// `addr[i] <= w < addr[i] + size[i]`.
+    ///
+    /// This subsumes exact matching and additionally catches *interior*
+    /// pointers (`&node.next`, skip-tower levels, …), which Rust code holds
+    /// routinely. Strictly more conservative than the paper: it never frees
+    /// anything the paper's exact match would retain.
+    Range,
+    /// Mark node `i` only when `w & !low_bit_mask == addr[i]`, the paper's
+    /// §4.2 behaviour ("masks off the low-order bits"). Exposed for the
+    /// matching-mode ablation; unsafe to combine with data structures that
+    /// hold interior pointers.
+    Exact,
+}
+
+/// Tuning knobs for a [`crate::Collector`].
+#[derive(Clone, Debug)]
+pub struct CollectorConfig {
+    /// Capacity of each per-thread delete buffer, in retired nodes.
+    /// Paper default: 1024 ("configured to store up to 1024 pointers per
+    /// thread"); Figure 4's tuned hash-table line uses 4096.
+    pub buffer_capacity: usize,
+    /// Word-matching strategy for the conservative scan.
+    pub match_mode: MatchMode,
+    /// Low-order bits ignored during exact matching, to tolerate tag bits
+    /// such as Harris-list deletion marks. The paper masks low-order bits;
+    /// 0b111 tolerates any tagging in the low three bits of 8-byte-aligned
+    /// nodes.
+    pub low_bit_mask: usize,
+    /// §7 future-work extension: when `true`, the reclaimer does not free
+    /// unmarked nodes itself. Instead they are published to a shared free
+    /// queue, and every thread drains a bounded batch of that queue at its
+    /// next interaction with the collector (its next `retire` call), sharing
+    /// the reclamation overhead.
+    pub distribute_frees: bool,
+    /// Batch size for the distributed-free drain.
+    pub distributed_free_batch: usize,
+    /// Maximum number of registered per-thread heap blocks (§4.3 extension).
+    pub max_heap_blocks: usize,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        Self {
+            buffer_capacity: 1024,
+            match_mode: MatchMode::Range,
+            low_bit_mask: 0b111,
+            distribute_frees: false,
+            distributed_free_batch: 64,
+            max_heap_blocks: 16,
+        }
+    }
+}
+
+impl CollectorConfig {
+    /// The paper's stock configuration (Figure 3).
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// The tuned configuration used for the hash table in Figure 4
+    /// ("increasing the length of the per-thread delete buffer length to
+    /// 4096").
+    pub fn paper_oversubscribed_hash() -> Self {
+        Self {
+            buffer_capacity: 4096,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style override of the buffer capacity.
+    pub fn with_buffer_capacity(mut self, cap: usize) -> Self {
+        assert!(cap >= 2, "buffer capacity must be at least 2");
+        self.buffer_capacity = cap;
+        self
+    }
+
+    /// Builder-style override of the match mode.
+    pub fn with_match_mode(mut self, mode: MatchMode) -> Self {
+        self.match_mode = mode;
+        self
+    }
+
+    /// Builder-style enabling of the distributed-free extension.
+    pub fn with_distributed_frees(mut self, on: bool) -> Self {
+        self.distribute_frees = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = CollectorConfig::default();
+        assert_eq!(cfg.buffer_capacity, 1024);
+        assert_eq!(cfg.match_mode, MatchMode::Range);
+        assert!(!cfg.distribute_frees);
+    }
+
+    #[test]
+    fn oversubscribed_hash_preset_uses_4096() {
+        assert_eq!(
+            CollectorConfig::paper_oversubscribed_hash().buffer_capacity,
+            4096
+        );
+    }
+
+    #[test]
+    fn builder_overrides_compose() {
+        let cfg = CollectorConfig::default()
+            .with_buffer_capacity(256)
+            .with_match_mode(MatchMode::Exact)
+            .with_distributed_frees(true);
+        assert_eq!(cfg.buffer_capacity, 256);
+        assert_eq!(cfg.match_mode, MatchMode::Exact);
+        assert!(cfg.distribute_frees);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_buffer_rejected() {
+        let _ = CollectorConfig::default().with_buffer_capacity(1);
+    }
+}

@@ -1,0 +1,203 @@
+//! The master buffer: the sorted aggregation every scan runs against.
+//!
+//! `TS-Collect` (Algorithm 1, line 2) sorts the delete buffer "to speed up
+//! the scan process"; scanning threads binary-search it and set mark bits.
+//! After all acknowledgments, unmarked entries are reclaimed and marked
+//! entries survive into the next reclamation phase.
+
+use core::sync::atomic::{AtomicU8, Ordering};
+
+use crate::config::{CollectorConfig, MatchMode};
+use crate::retired::Retired;
+use crate::session::ScanSession;
+
+/// Sorted, markable aggregation of retired nodes for one reclamation phase.
+pub struct MasterBuffer {
+    /// Entries sorted ascending by address.
+    entries: Vec<Retired>,
+    /// `entries[i].addr()`, kept separately for cache-dense binary search.
+    addrs: Vec<usize>,
+    /// `entries[i].end()`, parallel to `addrs`.
+    ends: Vec<usize>,
+    /// `marks[i] != 0` means entry `i` may still be referenced.
+    marks: Vec<AtomicU8>,
+    mode: MatchMode,
+    low_bit_mask: usize,
+}
+
+impl MasterBuffer {
+    /// Sorts `entries` by address and prepares the mark array.
+    ///
+    /// Duplicate addresses indicate a double `retire` in application code;
+    /// this is rejected in debug builds.
+    pub fn new(mut entries: Vec<Retired>, config: &CollectorConfig) -> Self {
+        entries.sort_unstable_by_key(Retired::addr);
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].addr() != w[1].addr()),
+            "double-retire detected: duplicate address in the delete buffer"
+        );
+        let addrs: Vec<usize> = entries.iter().map(Retired::addr).collect();
+        let ends: Vec<usize> = entries.iter().map(Retired::end).collect();
+        let marks = (0..entries.len()).map(|_| AtomicU8::new(0)).collect();
+        Self {
+            entries,
+            addrs,
+            ends,
+            marks,
+            mode: config.match_mode,
+            low_bit_mask: config.low_bit_mask,
+        }
+    }
+
+    /// Number of retired nodes in this phase.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether this phase has nothing to reclaim.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Creates the signal-handler-facing view of this buffer.
+    ///
+    /// The returned session borrows `self`; the borrow checker guarantees
+    /// the master buffer outlives every scan that uses the session, and the
+    /// collect protocol guarantees handlers are done before the session is
+    /// dropped (the last thing a handler does is acknowledge).
+    pub fn session(&self) -> ScanSession<'_> {
+        ScanSession::new(
+            &self.addrs,
+            &self.ends,
+            &self.marks,
+            self.mode,
+            self.low_bit_mask,
+        )
+    }
+
+    /// Marks entry `i` directly (used by the reclaimer for roots it can see
+    /// without a scan, and by tests).
+    pub fn mark(&self, i: usize) {
+        self.marks[i].store(1, Ordering::Release);
+    }
+
+    /// Whether entry `i` has been marked.
+    pub fn is_marked(&self, i: usize) -> bool {
+        self.marks[i].load(Ordering::Acquire) != 0
+    }
+
+    /// Consumes the phase: returns `(reclaimable, survivors)` —
+    /// Algorithm 1 lines 11-15 split into "free now" and "carry over".
+    pub fn partition(self) -> (Vec<Retired>, Vec<Retired>) {
+        let mut reclaimable = Vec::new();
+        let mut survivors = Vec::new();
+        for (entry, mark) in self.entries.into_iter().zip(self.marks.iter()) {
+            if mark.load(Ordering::Acquire) == 0 {
+                reclaimable.push(entry);
+            } else {
+                survivors.push(entry);
+            }
+        }
+        (reclaimable, survivors)
+    }
+
+    /// Read-only view of the sorted entries (diagnostics/tests).
+    pub fn entries(&self) -> &[Retired] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retired::noop_drop;
+    use proptest::prelude::*;
+
+    fn rec(addr: usize, size: usize) -> Retired {
+        unsafe { Retired::from_raw_parts(addr, size, noop_drop) }
+    }
+
+    fn cfg() -> CollectorConfig {
+        CollectorConfig::default()
+    }
+
+    #[test]
+    fn new_sorts_by_address() {
+        let mb = MasterBuffer::new(vec![rec(0x300, 8), rec(0x100, 8), rec(0x200, 8)], &cfg());
+        let addrs: Vec<usize> = mb.entries().iter().map(Retired::addr).collect();
+        assert_eq!(addrs, vec![0x100, 0x200, 0x300]);
+    }
+
+    #[test]
+    fn unmarked_entries_are_reclaimable() {
+        let mb = MasterBuffer::new(vec![rec(0x100, 8), rec(0x200, 8), rec(0x300, 8)], &cfg());
+        mb.mark(1);
+        let (reclaimable, survivors) = mb.partition();
+        let free: Vec<usize> = reclaimable.iter().map(Retired::addr).collect();
+        let keep: Vec<usize> = survivors.iter().map(Retired::addr).collect();
+        assert_eq!(free, vec![0x100, 0x300]);
+        assert_eq!(keep, vec![0x200]);
+    }
+
+    #[test]
+    fn session_scan_marks_via_range_match() {
+        let mb = MasterBuffer::new(vec![rec(0x1000, 64), rec(0x2000, 64)], &cfg());
+        let session = mb.session();
+        // Interior pointer into the first node; nothing touching the second.
+        session.scan_word(0x1020);
+        session.scan_word(0x3000);
+        drop(session);
+        assert!(mb.is_marked(0));
+        assert!(!mb.is_marked(1));
+    }
+
+    #[test]
+    fn session_scan_exact_mode_ignores_interior() {
+        let config = CollectorConfig::default().with_match_mode(MatchMode::Exact);
+        let mb = MasterBuffer::new(vec![rec(0x1000, 64)], &config);
+        let session = mb.session();
+        session.scan_word(0x1020); // interior: not a match in exact mode
+        session.scan_word(0x1001); // tagged base pointer: match
+        drop(session);
+        assert!(mb.is_marked(0));
+    }
+
+    #[test]
+    fn empty_master_buffer_partitions_to_nothing() {
+        let mb = MasterBuffer::new(Vec::new(), &cfg());
+        assert!(mb.is_empty());
+        let (reclaimable, survivors) = mb.partition();
+        assert!(reclaimable.is_empty());
+        assert!(survivors.is_empty());
+    }
+
+    proptest! {
+        /// Partition conserves the retired multiset: every entry comes out
+        /// exactly once, on the side its mark dictates.
+        #[test]
+        fn partition_conserves_entries(
+            addrs in proptest::collection::btree_set(1usize..1_000_000, 0..128),
+            mark_bits in proptest::collection::vec(any::<bool>(), 128),
+        ) {
+            let entries: Vec<Retired> =
+                addrs.iter().map(|&a| rec(a * 8, 8)).collect();
+            let n = entries.len();
+            let mb = MasterBuffer::new(entries, &cfg());
+            let mut expect_keep = Vec::new();
+            let mut expect_free = Vec::new();
+            for (i, &bit) in mark_bits.iter().enumerate().take(n) {
+                if bit {
+                    mb.mark(i);
+                    expect_keep.push(mb.entries()[i].addr());
+                } else {
+                    expect_free.push(mb.entries()[i].addr());
+                }
+            }
+            let (reclaimable, survivors) = mb.partition();
+            let free: Vec<usize> = reclaimable.iter().map(Retired::addr).collect();
+            let keep: Vec<usize> = survivors.iter().map(Retired::addr).collect();
+            prop_assert_eq!(free, expect_free);
+            prop_assert_eq!(keep, expect_keep);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Conservative matching kernels.
+//!
+//! These are the innermost loops of `TS-Scan` (Algorithm 1, lines 19-24):
+//! for each word of a thread's private memory, decide whether it (possibly)
+//! refers to a node in the sorted delete buffer. Everything here is
+//! panic-free and allocation-free: it runs inside POSIX signal handlers.
+
+/// Index of the buffer entry whose range `[addrs[i], ends[i])` contains `w`,
+/// if any. `addrs` must be sorted ascending; `ends` is parallel to it.
+///
+/// Range matching catches interior pointers (`w` pointing *into* a node),
+/// which exact matching misses; see `DESIGN.md` §4.
+#[inline]
+pub fn find_range(addrs: &[usize], ends: &[usize], w: usize) -> Option<usize> {
+    debug_assert_eq!(addrs.len(), ends.len());
+    // Greatest i with addrs[i] <= w.
+    let idx = addrs.partition_point(|&a| a <= w);
+    if idx == 0 {
+        return None;
+    }
+    let i = idx - 1;
+    if w < ends[i] {
+        Some(i)
+    } else {
+        None
+    }
+}
+
+/// Index of the buffer entry equal to `w` with its low-order bits masked
+/// off, if any. This is the paper's §4.2 behaviour: "The scanning process
+/// masks off the low-order bits of memory it reads on a stack chunk".
+/// Tolerates tag bits (e.g. Harris-list deletion marks) up to `mask`.
+#[inline]
+pub fn find_exact(addrs: &[usize], w: usize, mask: usize) -> Option<usize> {
+    let target = w & !mask;
+    addrs.binary_search(&target).ok()
+}
+
+/// Linear-scan oracle for [`find_range`], used by tests and kept here so the
+/// property tests in several crates can share it.
+pub fn find_range_linear(addrs: &[usize], ends: &[usize], w: usize) -> Option<usize> {
+    addrs
+        .iter()
+        .zip(ends.iter())
+        .position(|(&a, &e)| a <= w && w < e)
+}
+
+/// Linear-scan oracle for [`find_exact`].
+pub fn find_exact_linear(addrs: &[usize], w: usize, mask: usize) -> Option<usize> {
+    let target = w & !mask;
+    addrs.iter().position(|&a| a == target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fixture() -> (Vec<usize>, Vec<usize>) {
+        // Three nodes: [100,120), [200,264), [300,301).
+        (vec![100, 200, 300], vec![120, 264, 301])
+    }
+
+    #[test]
+    fn range_hits_base_interior_and_misses_end() {
+        let (addrs, ends) = fixture();
+        assert_eq!(find_range(&addrs, &ends, 100), Some(0), "base pointer");
+        assert_eq!(find_range(&addrs, &ends, 119), Some(0), "interior");
+        assert_eq!(find_range(&addrs, &ends, 120), None, "one-past-end");
+        assert_eq!(find_range(&addrs, &ends, 199), None, "gap");
+        assert_eq!(find_range(&addrs, &ends, 263), Some(1));
+        assert_eq!(find_range(&addrs, &ends, 300), Some(2), "1-byte node");
+        assert_eq!(find_range(&addrs, &ends, 99), None, "below first");
+        assert_eq!(find_range(&addrs, &ends, usize::MAX), None);
+    }
+
+    #[test]
+    fn range_on_empty_buffer_never_matches() {
+        assert_eq!(find_range(&[], &[], 0), None);
+        assert_eq!(find_range(&[], &[], usize::MAX), None);
+    }
+
+    #[test]
+    fn exact_matches_only_masked_base() {
+        let addrs = vec![0x1000, 0x2000, 0x3000];
+        assert_eq!(find_exact(&addrs, 0x2000, 0b111), Some(1));
+        assert_eq!(find_exact(&addrs, 0x2001, 0b111), Some(1), "tag bit");
+        assert_eq!(find_exact(&addrs, 0x2007, 0b111), Some(1), "all tags");
+        assert_eq!(find_exact(&addrs, 0x2008, 0b111), None, "interior word");
+        assert_eq!(find_exact(&addrs, 0x1fff, 0b111), None);
+    }
+
+    proptest! {
+        /// Binary-search range matching agrees with the linear oracle on
+        /// arbitrary disjoint sorted node sets and probe words.
+        #[test]
+        fn range_matches_linear_oracle(
+            // Build disjoint sorted ranges from positive gaps and sizes.
+            gaps in proptest::collection::vec((1usize..1000, 1usize..512), 0..64),
+            probes in proptest::collection::vec(any::<usize>(), 0..64),
+        ) {
+            let mut addrs = Vec::new();
+            let mut ends = Vec::new();
+            let mut cursor = 0usize;
+            for (gap, size) in gaps {
+                cursor = cursor.saturating_add(gap);
+                addrs.push(cursor);
+                cursor = cursor.saturating_add(size);
+                ends.push(cursor);
+            }
+            // Probe both arbitrary words and words near the ranges.
+            let mut all_probes = probes;
+            for (&a, &e) in addrs.iter().zip(ends.iter()) {
+                all_probes.extend_from_slice(&[a, a.wrapping_sub(1), e - 1, e]);
+            }
+            for w in all_probes {
+                prop_assert_eq!(
+                    find_range(&addrs, &ends, w),
+                    find_range_linear(&addrs, &ends, w),
+                    "probe {}", w
+                );
+            }
+        }
+
+        #[test]
+        fn exact_matches_linear_oracle(
+            mut addrs in proptest::collection::vec(any::<usize>().prop_map(|a| a & !0b111), 0..64),
+            probes in proptest::collection::vec(any::<usize>(), 0..64),
+            mask in prop_oneof![Just(0usize), Just(0b1), Just(0b111)],
+        ) {
+            addrs.sort_unstable();
+            addrs.dedup();
+            let mut all_probes = probes;
+            for &a in &addrs {
+                all_probes.extend_from_slice(&[a, a | 1, a | mask, a.wrapping_add(8)]);
+            }
+            for w in all_probes {
+                prop_assert_eq!(
+                    find_exact(&addrs, w, mask),
+                    find_exact_linear(&addrs, w, mask),
+                    "probe {}", w
+                );
+            }
+        }
+    }
+}

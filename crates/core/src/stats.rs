@@ -1,0 +1,179 @@
+//! Collector statistics.
+//!
+//! The paper's discussion (§6 Results) attributes ThreadScan's overhead to
+//! stack scans and signal traffic, amortized "across threads and against
+//! reclaimed nodes". These counters expose exactly those quantities so the
+//! benchmark harness (and users) can verify the amortization claim.
+
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+/// Monotonic counters describing a collector's lifetime activity.
+#[derive(Default)]
+pub struct CollectorStats {
+    /// Completed reclamation phases (`TS-Collect` calls that scanned).
+    pub collects: AtomicUsize,
+    /// Collect attempts that found an already-drained buffer and returned
+    /// to work without scanning (§4.2: "it can go back to work").
+    pub collects_skipped: AtomicUsize,
+    /// Nodes handed to `retire`.
+    pub retired: AtomicUsize,
+    /// Nodes whose destructor ran.
+    pub freed: AtomicUsize,
+    /// Marked nodes carried into a later phase (summed over phases).
+    pub survivors: AtomicUsize,
+    /// Threads that scanned, summed over phases (== signals sent + self-scans).
+    pub threads_scanned: AtomicUsize,
+    /// Words examined by all scans.
+    pub words_scanned: AtomicUsize,
+    /// Words that matched a retired node.
+    pub mark_hits: AtomicUsize,
+    /// Nodes freed through the distributed-free queue by non-reclaimers.
+    pub distributed_frees: AtomicUsize,
+    /// Nanoseconds the reclaimer spent inside collect phases, summed.
+    /// With `collects`, gives the mean reclaimer latency the paper's §7
+    /// "Future Work" worries about.
+    pub collect_ns_total: AtomicUsize,
+    /// Longest single collect phase, in nanoseconds.
+    pub collect_ns_max: AtomicUsize,
+}
+
+/// A point-in-time copy of [`CollectorStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[allow(missing_docs)] // field meanings documented on `CollectorStats`
+pub struct StatsSnapshot {
+    pub collects: usize,
+    pub collects_skipped: usize,
+    pub retired: usize,
+    pub freed: usize,
+    pub survivors: usize,
+    pub threads_scanned: usize,
+    pub words_scanned: usize,
+    pub mark_hits: usize,
+    pub distributed_frees: usize,
+    pub collect_ns_total: usize,
+    pub collect_ns_max: usize,
+}
+
+impl CollectorStats {
+    /// Takes a relaxed snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            collects: self.collects.load(Ordering::Relaxed),
+            collects_skipped: self.collects_skipped.load(Ordering::Relaxed),
+            retired: self.retired.load(Ordering::Relaxed),
+            freed: self.freed.load(Ordering::Relaxed),
+            survivors: self.survivors.load(Ordering::Relaxed),
+            threads_scanned: self.threads_scanned.load(Ordering::Relaxed),
+            words_scanned: self.words_scanned.load(Ordering::Relaxed),
+            mark_hits: self.mark_hits.load(Ordering::Relaxed),
+            distributed_frees: self.distributed_frees.load(Ordering::Relaxed),
+            collect_ns_total: self.collect_ns_total.load(Ordering::Relaxed),
+            collect_ns_max: self.collect_ns_max.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn add(&self, field: &AtomicUsize, n: usize) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises `field` to at least `n` (for maxima; racy-but-monotonic).
+    #[inline]
+    pub(crate) fn raise(&self, field: &AtomicUsize, n: usize) {
+        let mut cur = field.load(Ordering::Relaxed);
+        while cur < n {
+            match field.compare_exchange_weak(cur, n, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Nodes still tracked: retired but neither freed nor currently queued
+    /// for distributed freeing.
+    pub fn outstanding(&self) -> usize {
+        self.retired.saturating_sub(self.freed)
+    }
+
+    /// Average words scanned per completed collect (the per-phase scan cost
+    /// the paper identifies as the main overhead).
+    pub fn words_per_collect(&self) -> f64 {
+        if self.collects == 0 {
+            0.0
+        } else {
+            self.words_scanned as f64 / self.collects as f64
+        }
+    }
+
+    /// Mean reclaimer-side collect latency in microseconds (§7's
+    /// responsiveness concern).
+    pub fn mean_collect_us(&self) -> f64 {
+        if self.collects == 0 {
+            0.0
+        } else {
+            self.collect_ns_total as f64 / self.collects as f64 / 1e3
+        }
+    }
+
+    /// Worst-case collect latency in microseconds.
+    pub fn max_collect_us(&self) -> f64 {
+        self.collect_ns_max as f64 / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let stats = CollectorStats::default();
+        stats.add(&stats.retired, 10);
+        stats.add(&stats.freed, 4);
+        stats.add(&stats.collects, 2);
+        stats.add(&stats.words_scanned, 1000);
+        let snap = stats.snapshot();
+        assert_eq!(snap.retired, 10);
+        assert_eq!(snap.freed, 4);
+        assert_eq!(snap.outstanding(), 6);
+        assert_eq!(snap.words_per_collect(), 500.0);
+    }
+
+    #[test]
+    fn words_per_collect_handles_zero_collects() {
+        assert_eq!(StatsSnapshot::default().words_per_collect(), 0.0);
+        assert_eq!(StatsSnapshot::default().mean_collect_us(), 0.0);
+    }
+
+    #[test]
+    fn raise_is_monotonic_max() {
+        let stats = CollectorStats::default();
+        stats.raise(&stats.collect_ns_max, 500);
+        stats.raise(&stats.collect_ns_max, 200); // lower: no effect
+        stats.raise(&stats.collect_ns_max, 900);
+        assert_eq!(stats.snapshot().collect_ns_max, 900);
+    }
+
+    #[test]
+    fn collect_latency_snapshot_and_means() {
+        let stats = CollectorStats::default();
+        stats.add(&stats.collects, 4);
+        stats.add(&stats.collect_ns_total, 8_000);
+        stats.raise(&stats.collect_ns_max, 3_000);
+        let snap = stats.snapshot();
+        assert_eq!(snap.mean_collect_us(), 2.0);
+        assert_eq!(snap.max_collect_us(), 3.0);
+    }
+
+    #[test]
+    fn outstanding_saturates() {
+        let snap = StatsSnapshot {
+            retired: 3,
+            freed: 5,
+            ..Default::default()
+        };
+        assert_eq!(snap.outstanding(), 0);
+    }
+}

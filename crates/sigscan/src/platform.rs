@@ -1,0 +1,454 @@
+//! [`SignalPlatform`]: the paper's OS-signaling mechanism as a
+//! [`threadscan::Platform`].
+
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use threadscan::{Platform, ScanOutcome, ScanSession, SelfScanContext, ThreadRoots};
+
+use crate::handler;
+use crate::record::ThreadRecord;
+use crate::stackbounds::current_stack_bounds;
+
+/// How long `scan_all` waits for acknowledgments before concluding that a
+/// registered thread leaked (exited without dropping its handle) and
+/// panicking with a diagnostic instead of hanging the process forever.
+const ACK_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The real ThreadScan platform: POSIX signals + conservative stack and
+/// register scanning.
+///
+/// # Signal ownership
+///
+/// The configured signal (default `SIGUSR1`) must be reserved for
+/// ThreadScan: application code must neither install a handler for it nor
+/// send it to threads of this process. A stray in-round signal to a
+/// registered thread would be double-counted as an acknowledgment.
+///
+/// # Thread discipline
+///
+/// Every thread that accesses protected data must hold a registration
+/// (collector handle) while doing so, and must drop it before exiting.
+/// A thread that exits while registered leaves a dangling pthread id in
+/// the registry; signaling it is undefined behaviour at the OS level.
+pub struct SignalPlatform {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    signo: libc::c_int,
+    registry: Mutex<Vec<Arc<ThreadRecord>>>,
+    rounds: AtomicUsize,
+    signals_sent: AtomicUsize,
+}
+
+impl SignalPlatform {
+    /// Creates a platform using `SIGUSR1`.
+    pub fn new() -> io::Result<Self> {
+        Self::with_signal(libc::SIGUSR1)
+    }
+
+    /// Creates a platform using a caller-chosen signal (e.g.
+    /// `libc::SIGRTMIN() + k` to keep `SIGUSR1` free for the application).
+    pub fn with_signal(signo: libc::c_int) -> io::Result<Self> {
+        handler::install(signo)?;
+        Ok(Self {
+            inner: Arc::new(Inner {
+                signo,
+                registry: Mutex::new(Vec::new()),
+                rounds: AtomicUsize::new(0),
+                signals_sent: AtomicUsize::new(0),
+            }),
+        })
+    }
+
+    /// Number of currently registered threads.
+    pub fn registered_threads(&self) -> usize {
+        self.inner.registry.lock().len()
+    }
+
+    /// Completed scan rounds.
+    pub fn rounds(&self) -> usize {
+        self.inner.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Total signals sent across all rounds.
+    pub fn signals_sent(&self) -> usize {
+        self.inner.signals_sent.load(Ordering::Relaxed)
+    }
+
+    /// The signal number in use.
+    pub fn signal(&self) -> libc::c_int {
+        self.inner.signo
+    }
+}
+
+/// RAII registration; dropping it unregisters the thread. Produced by
+/// `Collector::register` via [`Platform::register_current`].
+pub struct RegistrationToken {
+    inner: Arc<Inner>,
+    rec: Arc<ThreadRecord>,
+}
+
+impl Drop for RegistrationToken {
+    fn drop(&mut self) {
+        // The round lock guarantees no scan is mid-flight while this
+        // thread's record disappears (an in-flight round has either
+        // already received our handler's ack or will get it while we block
+        // here — signals interrupt the futex wait and are handled).
+        let _round = handler::round_lock();
+        handler::detach_record(&self.rec);
+        self.inner
+            .registry
+            .lock()
+            .retain(|r| !Arc::ptr_eq(r, &self.rec));
+    }
+}
+
+// SAFETY: `scan_all` signals every registered thread; each handler scans
+// the full register file from `ucontext_t`, the stack from the interrupted
+// frame to its top, and all registered heap blocks, then acks — exactly the
+// contract `threadscan::Platform` requires. Registration changes are
+// serialized against rounds by the process-global round lock.
+unsafe impl Platform for SignalPlatform {
+    type ThreadToken = RegistrationToken;
+
+    fn register_current(&self, roots: Arc<ThreadRoots>) -> RegistrationToken {
+        let stack = current_stack_bounds()
+            .expect("ThreadScan: cannot determine stack bounds for this thread");
+        let rec = Arc::new(ThreadRecord::new(stack, roots));
+        {
+            let _round = handler::round_lock();
+            handler::attach_record(&rec);
+            self.inner.registry.lock().push(Arc::clone(&rec));
+        }
+        RegistrationToken {
+            inner: Arc::clone(&self.inner),
+            rec,
+        }
+    }
+
+    fn scan_all(&self, session: &ScanSession<'_>, reclaimer: &SelfScanContext) -> ScanOutcome {
+        // Serialize rounds process-wide: there is a single global session
+        // slot shared by every collector in the process.
+        let _round = handler::round_lock();
+        let snapshot: Vec<Arc<ThreadRecord>> = self.inner.registry.lock().clone();
+        if snapshot.is_empty() {
+            // No registered threads ⇒ no thread may hold references
+            // (accessors are required to register) ⇒ nothing to scan.
+            return ScanOutcome { threads_scanned: 0 };
+        }
+
+        // SAFETY: we hold the round lock and wait for all acks below
+        // before `end_round`; the session outlives the round.
+        unsafe { handler::begin_round(session) };
+
+        // Signal every *other* registered thread, once per distinct thread
+        // (a thread may carry several registrations). The reclaimer itself
+        // scans directly from its boundary context below — signaling
+        // ourselves would scan the collect machinery's own dead frames,
+        // which hold copies of every aggregated node address.
+        let me = unsafe { libc::pthread_self() };
+        let mut targets: Vec<libc::pthread_t> =
+            snapshot.iter().map(|r| r.pthread).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        let mut expected = 0usize;
+        for t in targets {
+            if unsafe { libc::pthread_equal(t, me) } != 0 {
+                continue;
+            }
+            let rc = unsafe { libc::pthread_kill(t, self.inner.signo) };
+            if rc == 0 {
+                expected += 1;
+            } else {
+                // ESRCH: the thread is gone but never unregistered. Its
+                // references are gone with it; skip it but flag the bug.
+                debug_assert_eq!(
+                    rc,
+                    libc::ESRCH,
+                    "pthread_kill failed with unexpected error {rc}"
+                );
+            }
+        }
+        self.inner.signals_sent.fetch_add(expected, Ordering::Relaxed);
+
+        // The reclaimer's own scan: stack above the application boundary
+        // plus the callee-saved registers captured there (Algorithm 1
+        // line 7).
+        if handler::scan_self(session, reclaimer) {
+            expected += 1;
+        }
+
+        // Wait for all acknowledgments (Algorithm 1, line 9).
+        let start = Instant::now();
+        let mut spins = 0u32;
+        while session.acks_received() < expected {
+            spins = spins.wrapping_add(1);
+            // Yield early and often: on low-core-count machines the
+            // signaled threads need CPU time to run their handlers.
+            if spins.is_multiple_of(32) {
+                std::thread::yield_now();
+                if start.elapsed() > ACK_TIMEOUT {
+                    handler::end_round();
+                    panic!(
+                        "ThreadScan: {}/{} acks after {:?}; a registered thread \
+                         is unresponsive or exited without unregistering",
+                        session.acks_received(),
+                        expected,
+                        ACK_TIMEOUT
+                    );
+                }
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+
+        handler::end_round();
+        self.inner.rounds.fetch_add(1, Ordering::Relaxed);
+        ScanOutcome {
+            threads_scanned: expected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threadscan::{Collector, CollectorConfig};
+
+    #[test]
+    fn register_and_unregister_maintain_registry() {
+        let platform = SignalPlatform::new().unwrap();
+        assert_eq!(platform.registered_threads(), 0);
+        let roots = Arc::new(ThreadRoots::new(4));
+        let token = platform.register_current(roots);
+        assert_eq!(platform.registered_threads(), 1);
+        assert_eq!(handler::attached_records(), 1);
+        drop(token);
+        assert_eq!(platform.registered_threads(), 0);
+        assert_eq!(handler::attached_records(), 0);
+    }
+
+    #[test]
+    fn multiple_registrations_per_thread_stack() {
+        let platform = SignalPlatform::new().unwrap();
+        let t1 = platform.register_current(Arc::new(ThreadRoots::new(4)));
+        let t2 = platform.register_current(Arc::new(ThreadRoots::new(4)));
+        assert_eq!(platform.registered_threads(), 2);
+        assert_eq!(handler::attached_records(), 2);
+        drop(t1); // out-of-order drop exercises mid-list detach
+        assert_eq!(handler::attached_records(), 1);
+        drop(t2);
+        assert_eq!(handler::attached_records(), 0);
+    }
+
+    /// Deep stack churn: overwrites the region of the stack that dead
+    /// frames (and spilled registers) may have left a stale pointer in.
+    #[inline(never)]
+    fn churn(depth: usize) -> usize {
+        let noise = std::hint::black_box([depth; 64]);
+        if depth == 0 {
+            noise[0]
+        } else {
+            churn(depth - 1) + noise[63]
+        }
+    }
+
+    /// End-to-end: a stack-held reference must survive a real
+    /// signal-driven collect ("must not free" is the safety direction and
+    /// is deterministic — our live frame holds the pointer and is always
+    /// scanned).
+    #[test]
+    fn stack_reference_blocks_reclamation() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Node(#[allow(dead_code)] [u64; 16]);
+        impl Drop for Node {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let collector = Collector::with_config(
+            SignalPlatform::new().unwrap(),
+            CollectorConfig::default().with_buffer_capacity(4),
+        );
+        let handle = collector.register();
+
+        let pinned = Box::into_raw(Box::new(Node([7; 16])));
+        let held = std::hint::black_box(pinned); // live stack copy
+
+        let before = DROPS.load(Ordering::SeqCst);
+        unsafe { handle.retire(pinned) };
+        handle.flush(); // forced round: our frame holds `held`
+        handle.flush();
+        assert_eq!(
+            DROPS.load(Ordering::SeqCst),
+            before,
+            "node referenced from this stack must not be freed"
+        );
+        assert!(collector.pending_estimate() >= 1);
+        assert_eq!(unsafe { (*std::hint::black_box(held)).0[0] }, 7);
+        drop(handle);
+        // Collector drop reclaims the survivor; our reference dies with
+        // the test, which never dereferences it again.
+        drop(collector);
+        assert_eq!(DROPS.load(Ordering::SeqCst), before + 1);
+    }
+
+    /// Liveness direction: nodes whose references only ever lived in
+    /// frames that have since returned keep getting reclaimed.
+    ///
+    /// A conservative scanner may pin *individual* addresses forever: a
+    /// stale word anywhere in the scanned region (e.g. garbage left in a
+    /// glibc-cached thread stack by an earlier test whose freed node's
+    /// address malloc then reuses) is indistinguishable from a live
+    /// reference. So the testable property is not "this one node is
+    /// freed" but "fresh unreferenced nodes are freed" — a stale word can
+    /// only match a bounded set of addresses, not a stream of new ones.
+    #[test]
+    fn unreferenced_node_is_eventually_reclaimed() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Node(#[allow(dead_code)] [u64; 16]);
+        impl Drop for Node {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        /// Allocate and immediately retire in a frame that dies on return,
+        /// so the outer frame never holds the pointer.
+        #[inline(never)]
+        fn retire_unheld(
+            handle: &threadscan::ThreadHandle<SignalPlatform>,
+        ) {
+            let p = Box::into_raw(Box::new(Node([3; 16])));
+            unsafe { handle.retire(p) };
+        }
+
+        let collector = Collector::with_config(
+            SignalPlatform::new().unwrap(),
+            CollectorConfig::default().with_buffer_capacity(64),
+        );
+        let handle = collector.register();
+        let before = DROPS.load(Ordering::SeqCst);
+
+        let mut freed = false;
+        for _ in 0..256 {
+            retire_unheld(&handle);
+            std::hint::black_box(churn(64));
+            handle.flush();
+            if DROPS.load(Ordering::SeqCst) > before {
+                freed = true;
+                break;
+            }
+        }
+        assert!(freed, "unreferenced nodes should eventually be reclaimed");
+        drop(handle);
+    }
+
+    /// Cross-thread round-trip: another registered thread holding the only
+    /// reference pins the node; the reclaimer must observe the mark set by
+    /// that thread's signal handler. No asserts run between barrier
+    /// points (a panic would strand the peer); outcomes are collected and
+    /// checked after the scope ends.
+    #[test]
+    fn other_threads_reference_is_detected_via_signal() {
+        use std::sync::atomic::{AtomicBool, AtomicUsize};
+        use std::sync::Barrier;
+        static DROPS2: AtomicUsize = AtomicUsize::new(0);
+        struct Node(#[allow(dead_code)] [u64; 16]);
+        impl Drop for Node {
+            fn drop(&mut self) {
+                DROPS2.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        /// Peer helper: loads the reference from the (heap-based) slot and
+        /// holds it on its stack across two barrier points, then returns
+        /// (killing the frame).
+        #[inline(never)]
+        fn hold_reference(slot: &AtomicUsize, barrier: &Barrier) {
+            barrier.wait(); // (0) address published
+            let held = std::hint::black_box(slot.load(Ordering::SeqCst) as *const Node);
+            barrier.wait(); // (1) holding
+            barrier.wait(); // (2) reclaimer's pinned round done
+            std::hint::black_box(unsafe { (*held).0[0] });
+        }
+
+        /// Main helper: allocates and retires in a dying frame so the main
+        /// test frame never contains the pointer.
+        #[inline(never)]
+        fn make_and_retire(
+            handle: &threadscan::ThreadHandle<SignalPlatform>,
+            slot: &AtomicUsize,
+            peer_has_it: &Barrier,
+        ) {
+            let p = Box::into_raw(Box::new(Node([9; 16])));
+            slot.store(p as usize, Ordering::SeqCst);
+            peer_has_it.wait(); // (0) peer picked it up
+            unsafe { handle.retire(p) };
+        }
+
+        let collector = Collector::with_config(
+            SignalPlatform::new().unwrap(),
+            CollectorConfig::default().with_buffer_capacity(64),
+        );
+        // Heap-based slot: its value (the raw address) must not live in
+        // any scanned stack frame, or it would pin the node itself.
+        let slot = Arc::new(AtomicUsize::new(0));
+        let barrier = Barrier::new(2);
+        let pinned_ok = AtomicBool::new(false);
+        let freed_ok = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            let collector2 = Arc::clone(&collector);
+            let barrier2 = &barrier;
+            let slot2 = Arc::clone(&slot);
+            s.spawn(move || {
+                let handle = collector2.register();
+                hold_reference(&slot2, barrier2); // holds across (0)-(2)
+                std::hint::black_box(churn(64)); // scrub stale slots
+                barrier2.wait(); // (3) released
+                barrier2.wait(); // (4) reclaimer done
+                drop(handle);
+            });
+
+            let handle = collector.register();
+            make_and_retire(&handle, &slot, &barrier); // passes (0)
+            std::hint::black_box(churn(64)); // scrub our own stale slots
+            barrier.wait(); // (1) peer is holding
+            let before = DROPS2.load(Ordering::SeqCst);
+            handle.flush();
+            handle.flush();
+            pinned_ok.store(DROPS2.load(Ordering::SeqCst) == before, Ordering::SeqCst);
+            barrier.wait(); // (2) let the peer release
+            barrier.wait(); // (3) peer released + churned
+            for _ in 0..256 {
+                std::hint::black_box(churn(64));
+                handle.flush();
+                if DROPS2.load(Ordering::SeqCst) > before {
+                    freed_ok.store(true, Ordering::SeqCst);
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            barrier.wait(); // (4)
+            drop(handle);
+        });
+
+        assert!(
+            pinned_ok.load(Ordering::SeqCst),
+            "peer stack reference must pin the node"
+        );
+        assert!(
+            freed_ok.load(Ordering::SeqCst),
+            "node must be reclaimed after the peer drops it"
+        );
+    }
+}

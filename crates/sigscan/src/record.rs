@@ -1,0 +1,69 @@
+//! Per-thread registration records.
+//!
+//! Each `Collector::register` call on a thread produces one
+//! [`ThreadRecord`]: the thread's pthread id, its stack bounds, and the
+//! collector-specific extra roots (§4.3 heap blocks). Records are linked
+//! into a thread-local list that the signal handler walks; a thread
+//! registered with several collectors scans its stack and registers once
+//! per round and its heap blocks once per registration.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use threadscan::ThreadRoots;
+
+use crate::stackbounds::StackBounds;
+
+/// One (thread × collector) registration.
+pub struct ThreadRecord {
+    /// pthread id used as the signal target.
+    pub(crate) pthread: libc::pthread_t,
+    /// The registering thread's stack bounds.
+    pub(crate) stack: StackBounds,
+    /// Extra roots contributed by this registration.
+    pub(crate) roots: Arc<ThreadRoots>,
+    /// Next record of the same thread (thread-local intrusive list). Only
+    /// the owning thread writes this; the owning thread's signal handler
+    /// reads it. Single-word reads/writes on the same thread are always
+    /// consistent with respect to that thread's own signal handlers.
+    pub(crate) next: Cell<*const ThreadRecord>,
+}
+
+// SAFETY: `next` is only touched by the owning thread and its signal
+// handler (same thread); all other fields are immutable after construction
+// or internally synchronized (`ThreadRoots` uses atomics).
+unsafe impl Send for ThreadRecord {}
+unsafe impl Sync for ThreadRecord {}
+
+impl ThreadRecord {
+    pub(crate) fn new(stack: StackBounds, roots: Arc<ThreadRoots>) -> Self {
+        Self {
+            pthread: unsafe { libc::pthread_self() },
+            stack,
+            roots,
+            next: Cell::new(std::ptr::null()),
+        }
+    }
+
+    /// Stack bounds captured at registration (diagnostics).
+    #[allow(dead_code)] // used by unit tests and debugging aids
+    pub fn stack_bounds(&self) -> StackBounds {
+        self.stack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stackbounds::current_stack_bounds;
+
+    #[test]
+    fn record_captures_calling_thread_identity() {
+        let roots = Arc::new(ThreadRoots::new(4));
+        let rec = ThreadRecord::new(current_stack_bounds().unwrap(), roots);
+        assert_eq!(rec.pthread, unsafe { libc::pthread_self() });
+        let local = 0u8;
+        assert!(rec.stack_bounds().contains(&local as *const u8 as usize));
+        assert!(rec.next.get().is_null());
+    }
+}

@@ -1,0 +1,124 @@
+//! Thread stack boundary discovery.
+//!
+//! The paper (§4.2, "Stack Boundaries") hooks `pthread_create` to learn
+//! stack extents. Rust gives us a cleaner seam: threads register explicitly
+//! (a collector handle is created on the thread), and at that moment we ask
+//! pthreads for the current thread's stack via `pthread_getattr_np` — which
+//! works for spawned threads *and* the main thread (glibc consults
+//! `/proc/self/maps` for the latter).
+
+use std::io;
+
+/// `[lo, hi)` bounds of the calling thread's stack. The stack grows down
+/// from `hi`; a conservative scan of live frames covers `[sp, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackBounds {
+    /// Lowest mapped stack address (guard page boundary).
+    pub lo: usize,
+    /// One past the highest stack address.
+    pub hi: usize,
+}
+
+impl StackBounds {
+    /// Whether `addr` falls inside the stack mapping.
+    pub fn contains(&self, addr: usize) -> bool {
+        self.lo <= addr && addr < self.hi
+    }
+
+    /// Stack size in bytes.
+    pub fn size(&self) -> usize {
+        self.hi - self.lo
+    }
+}
+
+/// Queries the calling thread's stack bounds from pthreads.
+pub fn current_stack_bounds() -> io::Result<StackBounds> {
+    unsafe {
+        let mut attr: libc::pthread_attr_t = std::mem::zeroed();
+        let rc = libc::pthread_getattr_np(libc::pthread_self(), &mut attr);
+        if rc != 0 {
+            return Err(io::Error::from_raw_os_error(rc));
+        }
+        let mut stackaddr: *mut libc::c_void = std::ptr::null_mut();
+        let mut stacksize: libc::size_t = 0;
+        let rc = libc::pthread_attr_getstack(&attr, &mut stackaddr, &mut stacksize);
+        libc::pthread_attr_destroy(&mut attr);
+        if rc != 0 {
+            return Err(io::Error::from_raw_os_error(rc));
+        }
+        let lo = stackaddr as usize;
+        Ok(StackBounds {
+            lo,
+            hi: lo + stacksize,
+        })
+    }
+}
+
+/// A best-effort approximation of the calling frame's stack pointer: the
+/// address of a fresh local. Anything at lower addresses belongs to callees
+/// that have not run yet (or to this helper), so `[approx_sp(), hi)` covers
+/// every live caller frame.
+#[inline(never)]
+pub fn approx_sp() -> usize {
+    let marker = 0u8;
+    let addr = &marker as *const u8 as usize;
+    // Prevent the compiler from eliding the local entirely.
+    std::hint::black_box(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_contain_a_local_variable() {
+        let bounds = current_stack_bounds().expect("pthread_getattr_np failed");
+        let local = 42u64;
+        let addr = &local as *const u64 as usize;
+        assert!(
+            bounds.contains(addr),
+            "local {addr:#x} outside stack {bounds:?}"
+        );
+        assert!(bounds.size() > 4096, "implausibly small stack");
+    }
+
+    #[test]
+    fn bounds_work_on_spawned_threads() {
+        std::thread::Builder::new()
+            .stack_size(512 * 1024)
+            .spawn(|| {
+                let bounds = current_stack_bounds().unwrap();
+                let local = 0u8;
+                assert!(bounds.contains(&local as *const u8 as usize));
+                // Requested size is a lower bound (guard pages etc. vary).
+                assert!(bounds.size() >= 512 * 1024);
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+    }
+
+    #[test]
+    fn approx_sp_is_below_caller_frames() {
+        let caller_local = 7u32;
+        let caller_addr = &caller_local as *const u32 as usize;
+        let sp = approx_sp();
+        assert!(
+            sp <= caller_addr,
+            "sp {sp:#x} must not be above caller local {caller_addr:#x}"
+        );
+        let bounds = current_stack_bounds().unwrap();
+        assert!(bounds.contains(sp));
+    }
+
+    #[test]
+    fn distinct_threads_have_distinct_stacks() {
+        let here = current_stack_bounds().unwrap();
+        let there = std::thread::spawn(current_stack_bounds)
+            .join()
+            .unwrap()
+            .unwrap();
+        assert!(here.hi <= there.lo || there.hi <= here.lo,
+            "stacks must not overlap: {here:?} vs {there:?}");
+    }
+}

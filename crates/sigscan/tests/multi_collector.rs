@@ -1,0 +1,183 @@
+//! Process-global concerns of the signal platform: multiple collectors,
+//! custom signals, and round serialization.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use threadscan::{Collector, CollectorConfig};
+use ts_sigscan::SignalPlatform;
+
+struct Probe {
+    drops: Arc<AtomicUsize>,
+    _pad: [u64; 4],
+}
+impl Drop for Probe {
+    fn drop(&mut self) {
+        self.drops.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn probe(drops: &Arc<AtomicUsize>) -> *mut Probe {
+    Box::into_raw(Box::new(Probe {
+        drops: Arc::clone(drops),
+        _pad: [0; 4],
+    }))
+}
+
+#[inline(never)]
+fn retire_unheld(
+    handle: &threadscan::ThreadHandle<SignalPlatform>,
+    drops: &Arc<AtomicUsize>,
+    n: usize,
+) {
+    for _ in 0..n {
+        // SAFETY: fresh nodes, never shared.
+        unsafe { handle.retire(probe(drops)) };
+    }
+}
+
+#[test]
+fn two_collectors_share_the_process_amicably() {
+    // Two independent collectors (e.g. two libraries in one process) with
+    // separate registries must both reclaim; rounds serialize internally
+    // on the global session slot.
+    let c1 = Collector::with_config(
+        SignalPlatform::new().unwrap(),
+        CollectorConfig::default().with_buffer_capacity(16),
+    );
+    let c2 = Collector::with_config(
+        SignalPlatform::new().unwrap(),
+        CollectorConfig::default().with_buffer_capacity(16),
+    );
+    let d1 = Arc::new(AtomicUsize::new(0));
+    let d2 = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let c1 = Arc::clone(&c1);
+            let c2 = Arc::clone(&c2);
+            let d1 = Arc::clone(&d1);
+            let d2 = Arc::clone(&d2);
+            s.spawn(move || {
+                // One thread registered with BOTH collectors (the TLS
+                // record list must handle this).
+                let h1 = c1.register();
+                let h2 = c2.register();
+                for _ in 0..40 {
+                    retire_unheld(&h1, &d1, 8);
+                    retire_unheld(&h2, &d2, 8);
+                }
+                drop(h2);
+                drop(h1);
+            });
+        }
+    });
+    c1.collect_now();
+    c2.collect_now();
+    assert_eq!(d1.load(Ordering::SeqCst), 2 * 40 * 8);
+    assert_eq!(d2.load(Ordering::SeqCst), 2 * 40 * 8);
+}
+
+#[test]
+fn custom_realtime_signal_works() {
+    // Using SIGRTMIN+3 keeps SIGUSR1 free for the application.
+    let signo = libc::SIGRTMIN() + 3;
+    let platform = SignalPlatform::with_signal(signo).unwrap();
+    assert_eq!(platform.signal(), signo);
+    let collector = Collector::with_config(
+        platform,
+        CollectorConfig::default().with_buffer_capacity(8),
+    );
+    let drops = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|s| {
+        let collector2 = Arc::clone(&collector);
+        let drops2 = Arc::clone(&drops);
+        s.spawn(move || {
+            let handle = collector2.register();
+            retire_unheld(&handle, &drops2, 64);
+            drop(handle);
+        });
+    });
+    collector.collect_now();
+    assert_eq!(drops.load(Ordering::SeqCst), 64);
+    assert!(collector.platform().rounds() > 0);
+}
+
+#[test]
+fn rounds_count_signals_accurately() {
+    let collector = Collector::with_config(
+        SignalPlatform::new().unwrap(),
+        CollectorConfig::default().with_buffer_capacity(1 << 20),
+    );
+    let drops = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        // Two peer threads that stay registered during the rounds.
+        for _ in 0..2 {
+            let collector = Arc::clone(&collector);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let _handle = collector.register();
+                while !stop.load(Ordering::Relaxed) {
+                    std::hint::spin_loop();
+                }
+            });
+        }
+        let handle = collector.register();
+        while collector.platform().registered_threads() < 3 {
+            std::thread::yield_now();
+        }
+        let rounds_before = collector.platform().rounds();
+        let signals_before = collector.platform().signals_sent();
+        retire_unheld(&handle, &drops, 4);
+        handle.flush(); // one round: 2 peers signaled + self-scan
+        assert_eq!(collector.platform().rounds(), rounds_before + 1);
+        assert_eq!(
+            collector.platform().signals_sent(),
+            signals_before + 2,
+            "exactly one signal per *other* registered thread"
+        );
+        stop.store(true, Ordering::Relaxed);
+        drop(handle);
+    });
+}
+
+#[test]
+fn many_threads_heavy_retire_traffic_is_leak_free() {
+    let collector = Collector::with_config(
+        SignalPlatform::new().unwrap(),
+        CollectorConfig::default().with_buffer_capacity(64),
+    );
+    let drops = Arc::new(AtomicUsize::new(0));
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 5_000;
+
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let collector = Arc::clone(&collector);
+            let drops = Arc::clone(&drops);
+            s.spawn(move || {
+                let handle = collector.register();
+                retire_unheld(&handle, &drops, PER_THREAD);
+                drop(handle);
+            });
+        }
+    });
+    collector.collect_now();
+    collector.collect_now();
+    let st = collector.stats();
+    assert_eq!(st.retired, THREADS * PER_THREAD);
+    assert_eq!(
+        drops.load(Ordering::SeqCst) + collector.pending_estimate(),
+        THREADS * PER_THREAD
+    );
+    // All worker stacks are gone; only residue on the main thread's stack
+    // could pin anything, and these nodes never lived there.
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        THREADS * PER_THREAD,
+        "all nodes must be reclaimed"
+    );
+}

@@ -1,0 +1,236 @@
+//! OS-interaction fidelity tests for the paper's §4.2 "Signaling" claims:
+//!
+//! * a thread blocked in a system call is interrupted, runs the handler,
+//!   and acks — the reclaimer never waits for the syscall to finish;
+//! * with `SA_RESTART`, restartable syscalls (pipe reads) resume
+//!   transparently, while the never-restarted family (`nanosleep`)
+//!   returns `EINTR` to the caller, "that passes the restart
+//!   responsibility to the programmer";
+//! * collects complete under heavy oversubscription and concurrent
+//!   registration churn.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use threadscan::{Collector, CollectorConfig};
+use ts_sigscan::SignalPlatform;
+
+fn collector(buffer: usize) -> Arc<Collector<SignalPlatform>> {
+    Collector::with_config(
+        SignalPlatform::new().unwrap(),
+        CollectorConfig::default().with_buffer_capacity(buffer),
+    )
+}
+
+fn retire_one(handle: &threadscan::ThreadHandle<SignalPlatform>) {
+    let p = Box::into_raw(Box::new([0u64; 8]));
+    // SAFETY: fresh allocation, never shared.
+    unsafe { handle.retire(p) };
+}
+
+/// A peer asleep in `nanosleep` must not block the collect; its sleep is
+/// interrupted with EINTR (nanosleep is in signal(7)'s never-restarted
+/// family even under SA_RESTART).
+#[test]
+fn sleeping_peer_acks_and_observes_eintr() {
+    let collector = collector(4);
+    let ready = Arc::new(Barrier::new(2));
+    let eintr_seen = Arc::new(AtomicBool::new(false));
+    let slept_full = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        let c2 = Arc::clone(&collector);
+        let ready2 = Arc::clone(&ready);
+        let eintr_seen2 = Arc::clone(&eintr_seen);
+        let slept_full2 = Arc::clone(&slept_full);
+        s.spawn(move || {
+            let _handle = c2.register();
+            ready2.wait();
+            // Sleep "forever" (3 s) in one nanosleep call; the collect's
+            // signal must cut it short.
+            let mut req = libc::timespec {
+                tv_sec: 3,
+                tv_nsec: 0,
+            };
+            let mut rem = libc::timespec {
+                tv_sec: 0,
+                tv_nsec: 0,
+            };
+            loop {
+                let rc = unsafe { libc::nanosleep(&req, &mut rem) };
+                if rc == 0 {
+                    break;
+                }
+                let err = std::io::Error::last_os_error();
+                assert_eq!(
+                    err.raw_os_error(),
+                    Some(libc::EINTR),
+                    "nanosleep failed with non-EINTR: {err}"
+                );
+                eintr_seen2.store(true, Ordering::SeqCst);
+                // The programmer's restart responsibility: resume with the
+                // remaining time, as the paper describes.
+                req = rem;
+            }
+            slept_full2.store(true, Ordering::SeqCst);
+        });
+
+        let handle = collector.register();
+        ready.wait();
+        // Give the peer time to actually enter nanosleep.
+        std::thread::sleep(Duration::from_millis(100));
+
+        let t0 = Instant::now();
+        retire_one(&handle);
+        handle.flush();
+        let collect_latency = t0.elapsed();
+        assert!(
+            collect_latency < Duration::from_secs(2),
+            "collect took {collect_latency:?}: the reclaimer must not wait \
+             out a peer's 3 s sleep"
+        );
+        drop(handle);
+        // Peer thread joins at scope end: its sleep completes via resumes.
+    });
+
+    assert!(
+        eintr_seen.load(Ordering::SeqCst),
+        "the sleeping peer must observe EINTR from the scan signal"
+    );
+    assert!(slept_full.load(Ordering::SeqCst));
+}
+
+/// A peer blocked in a pipe `read` acks the scan, and — because the
+/// handler installs with SA_RESTART — the read resumes transparently and
+/// delivers the byte written afterwards (no EINTR surfaces).
+#[test]
+fn pipe_read_is_restarted_transparently() {
+    let collector = collector(4);
+    let mut fds = [0 as libc::c_int; 2];
+    assert_eq!(unsafe { libc::pipe(fds.as_mut_ptr()) }, 0);
+    let (rd, wr) = (fds[0], fds[1]);
+
+    let ready = Arc::new(Barrier::new(2));
+    let read_result = Arc::new(AtomicUsize::new(usize::MAX));
+
+    std::thread::scope(|s| {
+        let c2 = Arc::clone(&collector);
+        let ready2 = Arc::clone(&ready);
+        let read_result2 = Arc::clone(&read_result);
+        s.spawn(move || {
+            let _handle = c2.register();
+            ready2.wait();
+            let mut buf = [0u8; 1];
+            // One read call: if the scan signal surfaced EINTR this would
+            // return -1 and the assert below would see it.
+            let n = unsafe { libc::read(rd, buf.as_mut_ptr().cast(), 1) };
+            assert_eq!(
+                n,
+                1,
+                "read must be restarted by SA_RESTART, got {n} (errno {})",
+                std::io::Error::last_os_error()
+            );
+            assert_eq!(buf[0], 0xAB);
+            read_result2.store(n as usize, Ordering::SeqCst);
+        });
+
+        let handle = collector.register();
+        ready.wait();
+        std::thread::sleep(Duration::from_millis(100)); // peer enters read
+
+        // Run a collect while the peer is blocked; it must ack from the
+        // handler and fall back into the read.
+        let t0 = Instant::now();
+        retire_one(&handle);
+        handle.flush();
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "collect must not wait for the blocked read"
+        );
+
+        // Only now satisfy the read.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(unsafe { libc::write(wr, [0xABu8].as_ptr().cast(), 1) }, 1);
+        drop(handle);
+    });
+
+    assert_eq!(read_result.load(Ordering::SeqCst), 1);
+    unsafe {
+        libc::close(rd);
+        libc::close(wr);
+    }
+}
+
+/// Figure 4's regime in miniature: far more registered threads than
+/// cores, all retiring; every collect completes and memory is reclaimed.
+#[test]
+fn oversubscribed_collects_complete() {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = (hw * 8).max(8);
+    let collector = collector(32);
+    let start = Arc::new(Barrier::new(threads));
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let c = Arc::clone(&collector);
+            let start = Arc::clone(&start);
+            s.spawn(move || {
+                let handle = c.register();
+                start.wait();
+                for _ in 0..200 {
+                    retire_one(&handle);
+                }
+                handle.flush();
+            });
+        }
+    });
+
+    let stats = collector.stats();
+    assert_eq!(stats.retired, threads * 200);
+    assert!(stats.collects > 0, "buffers of 32 must have collected");
+    assert!(
+        stats.freed > stats.retired / 2,
+        "freed {} of {} retired",
+        stats.freed,
+        stats.retired
+    );
+}
+
+/// Threads register and unregister continuously while another thread
+/// drives collect rounds; the round/registration lock must keep the
+/// registry and the signal targets consistent (no lost acks, no hangs).
+#[test]
+fn registration_churn_during_collects() {
+    let collector = collector(8);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            let c = Arc::clone(&collector);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let handle = c.register();
+                    retire_one(&handle);
+                    drop(handle); // unregister immediately: churn
+                }
+            });
+        }
+
+        let c = Arc::clone(&collector);
+        let stop2 = Arc::clone(&stop);
+        s.spawn(move || {
+            let handle = c.register();
+            for _ in 0..300 {
+                retire_one(&handle);
+                handle.flush();
+            }
+            stop2.store(true, Ordering::Relaxed);
+        });
+    });
+
+    let stats = collector.stats();
+    assert!(stats.collects >= 300, "collects: {}", stats.collects);
+    assert!(stats.freed > 0);
+}

@@ -1,0 +1,30 @@
+//! # ts-simthread — deterministic simulated platform for ThreadScan
+//!
+//! The real ThreadScan platform (`ts-sigscan`) interrupts threads with POSIX
+//! signals and conservatively scans raw stacks; correct, but inherently
+//! nondeterministic (dead stack slots, register spills, scheduling). This
+//! crate substitutes each piece with an explicit, deterministic equivalent
+//! so the *protocol* — buffering, aggregation, marking, sweeping, survivor
+//! carry-over, reclaimer handshake — can be tested exhaustively:
+//!
+//! | paper / sigscan | here |
+//! |---|---|
+//! | thread stack + registers | [`ShadowStack`]: explicit root words |
+//! | POSIX signal delivery | [`SimPlatform::poll`] handshake, or direct scan |
+//! | OS guarantees delivery to stalled threads | reclaimer force-scan after a grace period |
+//!
+//! [`model::run_model`] runs seeded random schedules of the protocol's
+//! abstract operations and checks the paper's Lemma 1 (no rooted node is
+//! ever freed — asserted inside every node destructor) and Lemma 4 (all
+//! unrooted retired nodes are freed within bounded phases).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod model;
+pub mod shadow;
+pub mod virtsig;
+
+pub use model::{run_model, ModelConfig, ModelReport};
+pub use shadow::ShadowStack;
+pub use virtsig::{SimMode, SimPlatform, SimRecord, SimToken};

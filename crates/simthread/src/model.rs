@@ -1,0 +1,435 @@
+//! Randomized protocol model checking.
+//!
+//! Runs the full collector protocol over the deterministic [`SimPlatform`]
+//! with a seeded random schedule of the abstract operations the paper's
+//! proofs quantify over:
+//!
+//! * **Alloc** — a node becomes reachable;
+//! * **Acquire** — a simulated thread copies a reference into its private
+//!   memory (shadow stack) — legal only while the node is still reachable
+//!   (Assumption 1.1: removed nodes cannot be newly reached);
+//! * **Release** — a private reference is dropped;
+//! * **Retire** — the node is unlinked and handed to the collector;
+//! * **Collect** — a forced reclamation phase.
+//!
+//! Checked invariants:
+//!
+//! * **Safety (Lemma 1)** — a node is never freed while any simulated
+//!   thread still publishes a reference to it. Checked *inside the node's
+//!   destructor* against an exact root census.
+//! * **Eventual reclamation (Lemma 4)** — once all references are released
+//!   and all nodes retired, a bounded number of phases frees everything.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use threadscan::{Collector, CollectorConfig};
+
+use crate::virtsig::SimPlatform;
+
+/// Parameters for one model run.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Simulated threads (each gets a collector handle + shadow stack).
+    pub sim_threads: usize,
+    /// Root slots per shadow stack.
+    pub shadow_slots: usize,
+    /// Delete-buffer capacity (small values force frequent phases).
+    pub buffer_capacity: usize,
+    /// Schedule length in operations.
+    pub steps: usize,
+    /// RNG seed (same seed ⇒ same schedule ⇒ same outcome).
+    pub seed: u64,
+    /// Enable the §7 distributed-free extension: freed nodes queue for
+    /// other handles to deallocate, and the schedule gains a Drain op.
+    pub distributed_frees: bool,
+    /// Cells per simulated thread's registered heap block (§4.3
+    /// extension); 0 disables heap blocks. When enabled, half of all
+    /// Acquire ops publish into the heap block instead of the shadow
+    /// stack.
+    pub heap_block_cells: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self {
+            sim_threads: 4,
+            shadow_slots: 8,
+            buffer_capacity: 8,
+            steps: 2000,
+            seed: 0,
+            distributed_frees: false,
+            heap_block_cells: 0,
+        }
+    }
+}
+
+/// Outcome of a model run. A safety violation panics inside the run
+/// instead of being reported here, so reaching a report at all means the
+/// safety invariant held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelReport {
+    /// Nodes allocated over the schedule.
+    pub allocated: usize,
+    /// Nodes whose destructor ran (must equal `allocated` at the end).
+    pub freed: usize,
+    /// Reclamation phases executed.
+    pub collects: usize,
+    /// Peak retired-but-not-freed node count observed.
+    pub max_outstanding: usize,
+}
+
+/// Exact census of published references, shared with node destructors.
+struct Census {
+    root_counts: Mutex<HashMap<usize, usize>>,
+    freed: AtomicUsize,
+}
+
+/// A model node; its destructor checks the safety invariant.
+struct ModelNode {
+    census: Arc<Census>,
+    /// Padding so interior pointers and ranges are exercised.
+    _pad: [u64; 6],
+}
+
+impl Drop for ModelNode {
+    fn drop(&mut self) {
+        let addr = self as *mut ModelNode as usize;
+        let roots = self.census.root_counts.lock();
+        let outstanding = roots.get(&addr).copied().unwrap_or(0);
+        assert_eq!(
+            outstanding, 0,
+            "SAFETY VIOLATION: node {addr:#x} freed with {outstanding} live root(s)"
+        );
+        drop(roots);
+        self.census.freed.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Where a held reference is published.
+enum RootKind {
+    /// Shadow-stack slot index.
+    Slot(usize),
+    /// Heap-block cell index (§4.3 extension).
+    Cell(usize),
+}
+
+/// A reference currently held by a simulated thread.
+struct Held {
+    kind: RootKind,
+    addr: usize,
+}
+
+/// Runs one seeded schedule; panics on any safety violation.
+pub fn run_model(config: &ModelConfig) -> ModelReport {
+    assert!(config.sim_threads >= 1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let platform = SimPlatform::direct(config.shadow_slots);
+    let collector = Collector::with_config(
+        platform.clone(),
+        CollectorConfig::default()
+            .with_buffer_capacity(config.buffer_capacity)
+            .with_distributed_frees(config.distributed_frees),
+    );
+    let census = Arc::new(Census {
+        root_counts: Mutex::new(HashMap::new()),
+        freed: AtomicUsize::new(0),
+    });
+
+    // All simulated threads live on this real thread: the schedule *is*
+    // the interleaving, at operation granularity.
+    let handles: Vec<_> = (0..config.sim_threads)
+        .map(|_| collector.register())
+        .collect();
+    let shadows: Vec<_> = (0..config.sim_threads)
+        .map(|i| platform.shadow(i))
+        .collect();
+
+    // §4.3 heap blocks: one registered block of `heap_block_cells` words
+    // per simulated thread; cell value 0 means free.
+    let mut heap_blocks: Vec<Box<[usize]>> = (0..config.sim_threads)
+        .map(|_| vec![0usize; config.heap_block_cells].into_boxed_slice())
+        .collect();
+    if config.heap_block_cells > 0 {
+        for (t, block) in heap_blocks.iter().enumerate() {
+            handles[t]
+                .add_heap_block(block.as_ptr().cast(), block.len() * 8)
+                .expect("register model heap block");
+        }
+    }
+
+    let mut reachable: Vec<usize> = Vec::new(); // allocated, not retired
+    let mut held: Vec<Vec<Held>> = (0..config.sim_threads).map(|_| Vec::new()).collect();
+    let mut allocated = 0usize;
+    let mut retired = 0usize;
+    let mut max_outstanding = 0usize;
+
+    let alloc = |census: &Arc<Census>| -> usize {
+        Box::into_raw(Box::new(ModelNode {
+            census: Arc::clone(census),
+            _pad: [0; 6],
+        })) as usize
+    };
+
+    for _ in 0..config.steps {
+        match rng.gen_range(0..100) {
+            // Alloc (30%)
+            0..=29 => {
+                reachable.push(alloc(&census));
+                allocated += 1;
+            }
+            // Acquire (25%)
+            30..=54 => {
+                if reachable.is_empty() {
+                    continue;
+                }
+                let t = rng.gen_range(0..config.sim_threads);
+                let addr = reachable[rng.gen_range(0..reachable.len())];
+                // Census first: from the instant the reference exists in
+                // private memory it must pin the node.
+                *census.root_counts.lock().entry(addr).or_insert(0) += 1;
+                // Interior pointers must pin too — exercise them.
+                let published = addr + (rng.gen_range(0..6usize)) * 8;
+                let use_heap = config.heap_block_cells > 0 && rng.gen_bool(0.5);
+                let placed = if use_heap {
+                    heap_blocks[t]
+                        .iter()
+                        .position(|&c| c == 0)
+                        .map(|cell| {
+                            heap_blocks[t][cell] = published;
+                            RootKind::Cell(cell)
+                        })
+                } else {
+                    shadows[t].publish(published).map(RootKind::Slot)
+                };
+                match placed {
+                    Some(kind) => held[t].push(Held { kind, addr }),
+                    None => {
+                        // Root storage full: back out.
+                        *census.root_counts.lock().get_mut(&addr).unwrap() -= 1;
+                    }
+                }
+            }
+            // Release (20%)
+            55..=74 => {
+                let t = rng.gen_range(0..config.sim_threads);
+                if held[t].is_empty() {
+                    continue;
+                }
+                let idx = rng.gen_range(0..held[t].len());
+                let h = held[t].swap_remove(idx);
+                match h.kind {
+                    RootKind::Slot(slot) => {
+                        shadows[t].retract(slot);
+                    }
+                    RootKind::Cell(cell) => heap_blocks[t][cell] = 0,
+                }
+                // Census strictly after the root disappears from scannable
+                // memory: the destructor check is therefore conservative.
+                *census.root_counts.lock().get_mut(&h.addr).unwrap() -= 1;
+            }
+            // Retire (20%)
+            75..=94 => {
+                if reachable.is_empty() {
+                    continue;
+                }
+                let t = rng.gen_range(0..config.sim_threads);
+                let addr = reachable.swap_remove(rng.gen_range(0..reachable.len()));
+                // SAFETY: `addr` came from Box::into_raw and leaves
+                // `reachable`, so it is retired exactly once.
+                unsafe { handles[t].retire(addr as *mut ModelNode) };
+                retired += 1;
+            }
+            // Forced collect / distributed drain (5%)
+            _ => {
+                if config.distributed_frees && rng.gen_bool(0.5) {
+                    // The §7 extension's second half: a non-reclaimer hand
+                    // frees a batch from the shared queue.
+                    collector.drain_free_queue(rng.gen_range(1..16));
+                } else {
+                    collector.collect_now();
+                }
+            }
+        }
+        let outstanding = retired - census.freed.load(Ordering::SeqCst);
+        max_outstanding = max_outstanding.max(outstanding);
+    }
+
+    // Drain: release every root, retire everything, collect until done.
+    for t in 0..config.sim_threads {
+        for h in held[t].drain(..) {
+            match h.kind {
+                RootKind::Slot(slot) => {
+                    shadows[t].retract(slot);
+                }
+                RootKind::Cell(cell) => heap_blocks[t][cell] = 0,
+            }
+            *census.root_counts.lock().get_mut(&h.addr).unwrap() -= 1;
+        }
+    }
+    for addr in reachable.drain(..) {
+        unsafe { handles[0].retire(addr as *mut ModelNode) };
+    }
+    // Lemma 4: with no roots left, one phase suffices; we allow two for
+    // the survivors carried out of the last in-schedule phase — plus a
+    // full queue drain when the distributed-free extension is on.
+    collector.collect_now();
+    collector.collect_now();
+    if config.distributed_frees {
+        while collector.drain_free_queue(usize::MAX) > 0 {}
+    }
+
+    let freed = census.freed.load(Ordering::SeqCst);
+    assert_eq!(
+        freed, allocated,
+        "LIVENESS VIOLATION: {} of {} nodes never freed",
+        allocated - freed,
+        allocated
+    );
+
+    let stats = collector.stats();
+    drop(handles);
+    ModelReport {
+        allocated,
+        freed,
+        collects: stats.collects,
+        max_outstanding,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_model_run_is_clean() {
+        let report = run_model(&ModelConfig::default());
+        assert_eq!(report.allocated, report.freed);
+        assert!(report.collects > 0, "schedule must exercise collection");
+    }
+
+    #[test]
+    fn model_is_deterministic_per_seed() {
+        let cfg = ModelConfig {
+            seed: 42,
+            ..Default::default()
+        };
+        let a = run_model(&cfg);
+        let b = run_model(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_buffers_force_many_phases() {
+        let report = run_model(&ModelConfig {
+            buffer_capacity: 2,
+            steps: 1000,
+            ..Default::default()
+        });
+        assert!(
+            report.collects >= 20,
+            "expected frequent phases, got {}",
+            report.collects
+        );
+    }
+
+    #[test]
+    fn single_thread_model_works() {
+        let report = run_model(&ModelConfig {
+            sim_threads: 1,
+            shadow_slots: 2,
+            steps: 500,
+            seed: 7,
+            ..Default::default()
+        });
+        assert_eq!(report.allocated, report.freed);
+    }
+
+    #[test]
+    fn distributed_frees_model_run_is_clean() {
+        let report = run_model(&ModelConfig {
+            distributed_frees: true,
+            buffer_capacity: 4,
+            steps: 3000,
+            seed: 11,
+            ..Default::default()
+        });
+        assert_eq!(report.allocated, report.freed);
+        assert!(report.collects > 0);
+    }
+
+    #[test]
+    fn heap_block_roots_pin_like_stack_roots() {
+        let report = run_model(&ModelConfig {
+            heap_block_cells: 6,
+            buffer_capacity: 4,
+            steps: 3000,
+            seed: 13,
+            ..Default::default()
+        });
+        assert_eq!(report.allocated, report.freed);
+    }
+
+    #[test]
+    fn all_extensions_together() {
+        let report = run_model(&ModelConfig {
+            distributed_frees: true,
+            heap_block_cells: 4,
+            buffer_capacity: 3,
+            steps: 4000,
+            seed: 17,
+            ..Default::default()
+        });
+        assert_eq!(report.allocated, report.freed);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Safety and liveness hold across arbitrary seeds and shapes.
+        #[test]
+        fn random_schedules_uphold_lemma1_and_lemma4(
+            seed in any::<u64>(),
+            sim_threads in 1usize..6,
+            shadow_slots in 1usize..12,
+            buffer_capacity in 2usize..32,
+        ) {
+            let report = run_model(&ModelConfig {
+                sim_threads,
+                shadow_slots,
+                buffer_capacity,
+                steps: 800,
+                seed,
+                ..Default::default()
+            });
+            prop_assert_eq!(report.allocated, report.freed);
+        }
+
+        /// The §4.3 and §7 extensions preserve both lemmas across random
+        /// schedules and shapes.
+        #[test]
+        fn extended_schedules_uphold_lemma1_and_lemma4(
+            seed in any::<u64>(),
+            sim_threads in 1usize..5,
+            shadow_slots in 1usize..8,
+            buffer_capacity in 2usize..16,
+            heap_block_cells in 0usize..8,
+            distributed_frees in any::<bool>(),
+        ) {
+            let report = run_model(&ModelConfig {
+                sim_threads,
+                shadow_slots,
+                buffer_capacity,
+                steps: 600,
+                seed,
+                distributed_frees,
+                heap_block_cells,
+            });
+            prop_assert_eq!(report.allocated, report.freed);
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Epoch-based reclamation (Harris 2001 / Fraser 2004 / RCU-style) —
+//! §6 "Techniques" #3, and its delay-injected variant, #4 "Slow Epoch".
+//!
+//! Each operation brackets itself with two writes (announce current global
+//! epoch + active flag on entry; clear active on exit) — "two writes per
+//! method" is exactly the overhead the paper attributes to the scheme.
+//! Retired nodes are stamped with the global epoch at retire time and may
+//! be freed once the global epoch has advanced twice past the stamp; the
+//! global epoch advances only when every *active* thread has announced the
+//! current epoch. A single delayed thread therefore stalls reclamation for
+//! everyone — the weakness "Slow Epoch" makes visible by injecting a 40 ms
+//! busy-wait into one thread's announcement path.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::api::{DropFn, Smr, SmrHandle};
+
+/// Per-thread epoch announcement: `epoch << 1 | active`.
+struct EpochRec {
+    state: AtomicUsize,
+}
+
+impl EpochRec {
+    fn announce(&self, epoch: usize) {
+        self.state.store(epoch << 1 | 1, Ordering::SeqCst);
+    }
+    fn clear(&self) {
+        let s = self.state.load(Ordering::Relaxed);
+        self.state.store(s & !1, Ordering::Release);
+    }
+    /// `Some(epoch)` if the thread is inside an operation.
+    fn active_epoch(&self) -> Option<usize> {
+        let s = self.state.load(Ordering::Acquire);
+        if s & 1 == 1 {
+            Some(s >> 1)
+        } else {
+            None
+        }
+    }
+}
+
+struct EpochInner {
+    global: AtomicUsize,
+    threads: Mutex<Vec<Arc<EpochRec>>>,
+    /// Bags inherited from exited threads: `(stamp, addr, drop_fn)`.
+    orphans: Mutex<VecDeque<(usize, usize, DropFn)>>,
+    outstanding: AtomicUsize,
+    /// Retires between advancement attempts (paper: a thread that removed
+    /// 1024 nodes reads all epoch counters before continuing).
+    advance_threshold: usize,
+    /// Injected delay for the errant thread (Slow Epoch), if any.
+    slow: Option<SlowConfig>,
+    /// Which registration index is the errant thread (first by default).
+    slow_claimed: AtomicUsize,
+}
+
+#[derive(Clone, Copy)]
+struct SlowConfig {
+    delay: Duration,
+    period_ops: usize,
+}
+
+/// Epoch-based reclamation scheme.
+pub struct EpochScheme {
+    inner: Arc<EpochInner>,
+}
+
+impl EpochScheme {
+    /// Stock epoch scheme with the paper's 1024-retire advancement cadence.
+    pub fn new() -> Self {
+        Self::with_threshold(1024)
+    }
+
+    /// Epoch scheme with a custom advancement cadence.
+    pub fn with_threshold(advance_threshold: usize) -> Self {
+        Self::build(advance_threshold, None)
+    }
+
+    /// §6 "Slow Epoch": one thread (the first to register) busy-waits
+    /// `delay` every `period_ops` operations *while inside an operation*,
+    /// pinning its announced epoch and stalling advancement.
+    pub fn slow(advance_threshold: usize, delay: Duration, period_ops: usize) -> Self {
+        Self::build(
+            advance_threshold,
+            Some(SlowConfig { delay, period_ops }),
+        )
+    }
+
+    fn build(advance_threshold: usize, slow: Option<SlowConfig>) -> Self {
+        assert!(advance_threshold >= 1);
+        Self {
+            inner: Arc::new(EpochInner {
+                global: AtomicUsize::new(2), // start > 0 so stamp-2 math never underflows
+                threads: Mutex::new(Vec::new()),
+                orphans: Mutex::new(VecDeque::new()),
+                outstanding: AtomicUsize::new(0),
+                advance_threshold,
+                slow,
+                slow_claimed: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Current global epoch (diagnostics).
+    pub fn global_epoch(&self) -> usize {
+        self.inner.global.load(Ordering::SeqCst)
+    }
+}
+
+impl Default for EpochScheme {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Attempts to advance the global epoch; returns the (possibly new) epoch.
+fn try_advance(inner: &EpochInner) -> usize {
+    let e = inner.global.load(Ordering::SeqCst);
+    let threads = inner.threads.lock();
+    for rec in threads.iter() {
+        if let Some(local) = rec.active_epoch() {
+            if local != e {
+                return e; // an active thread lags: cannot advance
+            }
+        }
+    }
+    drop(threads);
+    let _ = inner
+        .global
+        .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
+    inner.global.load(Ordering::SeqCst)
+}
+
+/// Frees every bag entry stamped ≤ `epoch - 2`. `bag` is a thread's local
+/// bag; the shared orphan bag is drained too.
+fn free_expired(
+    inner: &EpochInner,
+    bag: &mut VecDeque<(usize, usize, DropFn)>,
+    epoch: usize,
+) -> usize {
+    let mut freed = 0usize;
+    let limit = epoch.saturating_sub(2);
+    while let Some(&(stamp, addr, drop_fn)) = bag.front() {
+        if stamp > limit {
+            break;
+        }
+        bag.pop_front();
+        // SAFETY: two epoch advancements prove every operation concurrent
+        // with the unlink has completed; retire contract gives uniqueness.
+        unsafe { drop_fn(addr as *mut u8) };
+        freed += 1;
+    }
+    let mut orphans = inner.orphans.lock();
+    while let Some(&(stamp, addr, drop_fn)) = orphans.front() {
+        if stamp > limit {
+            break;
+        }
+        orphans.pop_front();
+        // SAFETY: as above.
+        unsafe { drop_fn(addr as *mut u8) };
+        freed += 1;
+    }
+    drop(orphans);
+    inner.outstanding.fetch_sub(freed, Ordering::Relaxed);
+    freed
+}
+
+/// Per-thread epoch handle.
+pub struct EpochHandle {
+    inner: Arc<EpochInner>,
+    rec: Arc<EpochRec>,
+    bag: RefCell<VecDeque<(usize, usize, DropFn)>>,
+    retires_since_advance: std::cell::Cell<usize>,
+    ops: std::cell::Cell<usize>,
+    /// This handle is the designated errant thread (Slow Epoch).
+    errant: bool,
+}
+
+impl Smr for EpochScheme {
+    type Handle = EpochHandle;
+
+    fn register(&self) -> EpochHandle {
+        let rec = Arc::new(EpochRec {
+            state: AtomicUsize::new(0),
+        });
+        self.inner.threads.lock().push(Arc::clone(&rec));
+        let errant = self.inner.slow.is_some()
+            && self
+                .inner
+                .slow_claimed
+                .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok();
+        EpochHandle {
+            inner: Arc::clone(&self.inner),
+            rec,
+            bag: RefCell::new(VecDeque::new()),
+            retires_since_advance: std::cell::Cell::new(0),
+            ops: std::cell::Cell::new(0),
+            errant,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        if self.inner.slow.is_some() {
+            "slow-epoch"
+        } else {
+            "epoch"
+        }
+    }
+
+    fn outstanding(&self) -> usize {
+        self.inner.outstanding.load(Ordering::Relaxed)
+    }
+
+    fn quiesce(&self) {
+        // With no active threads, two advances expire everything orphaned.
+        for _ in 0..3 {
+            try_advance(&self.inner);
+        }
+        let epoch = self.inner.global.load(Ordering::SeqCst);
+        free_expired(&self.inner, &mut VecDeque::new(), epoch);
+    }
+}
+
+impl SmrHandle for EpochHandle {
+    #[inline]
+    fn begin_op(&self) {
+        let e = self.inner.global.load(Ordering::SeqCst);
+        self.rec.announce(e);
+        if self.errant {
+            // Slow Epoch fault injection: every `period_ops` operations the
+            // errant thread dawdles *while active*, pinning epoch `e`.
+            let cfg = self.inner.slow.expect("errant implies slow config");
+            let n = self.ops.get() + 1;
+            self.ops.set(n);
+            if n.is_multiple_of(cfg.period_ops) {
+                let until = Instant::now() + cfg.delay;
+                while Instant::now() < until {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn end_op(&self) {
+        self.rec.clear();
+    }
+
+    unsafe fn retire(&self, addr: usize, _size: usize, drop_fn: DropFn) {
+        self.inner.outstanding.fetch_add(1, Ordering::Relaxed);
+        let stamp = self.inner.global.load(Ordering::SeqCst);
+        let mut bag = self.bag.borrow_mut();
+        bag.push_back((stamp, addr, drop_fn));
+
+        let n = self.retires_since_advance.get() + 1;
+        if n >= self.inner.advance_threshold {
+            self.retires_since_advance.set(0);
+            let epoch = try_advance(&self.inner);
+            free_expired(&self.inner, &mut bag, epoch);
+        } else {
+            self.retires_since_advance.set(n);
+            // Opportunistically expire what is already old enough.
+            let epoch = self.inner.global.load(Ordering::SeqCst);
+            free_expired(&self.inner, &mut bag, epoch);
+        }
+    }
+}
+
+impl Drop for EpochHandle {
+    fn drop(&mut self) {
+        self.rec.clear();
+        // Remove our announcement record so we never block advancement,
+        // and bequeath the bag.
+        self.inner
+            .threads
+            .lock()
+            .retain(|r| !Arc::ptr_eq(r, &self.rec));
+        let mut bag = self.bag.borrow_mut();
+        self.inner.orphans.lock().extend(bag.drain(..));
+        if self.errant {
+            self.inner.slow_claimed.store(0, Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::retire_box;
+    use std::sync::atomic::AtomicUsize as Counter;
+
+    struct Probe {
+        drops: Arc<Counter>,
+    }
+    impl Drop for Probe {
+        fn drop(&mut self) {
+            self.drops.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    fn probe(drops: &Arc<Counter>) -> *mut Probe {
+        Box::into_raw(Box::new(Probe {
+            drops: Arc::clone(drops),
+        }))
+    }
+
+    #[test]
+    fn nodes_free_after_two_advances() {
+        let drops = Arc::new(Counter::new(0));
+        let scheme = EpochScheme::with_threshold(4);
+        let handle = scheme.register();
+        for _ in 0..4 {
+            handle.begin_op();
+            unsafe { retire_box(&handle, probe(&drops)) };
+            handle.end_op();
+        }
+        // Threshold reached once: one advance — not yet two.
+        let before = drops.load(Ordering::SeqCst);
+        for _ in 0..8 {
+            handle.begin_op();
+            unsafe { retire_box(&handle, probe(&drops)) };
+            handle.end_op();
+        }
+        assert!(
+            drops.load(Ordering::SeqCst) > before,
+            "older bag entries must expire as the epoch advances"
+        );
+        drop(handle);
+        scheme.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 12);
+        assert_eq!(scheme.outstanding(), 0);
+    }
+
+    #[test]
+    fn active_lagging_thread_blocks_advancement() {
+        let drops = Arc::new(Counter::new(0));
+        let scheme = EpochScheme::with_threshold(2);
+        let lagger = scheme.register();
+        let worker = scheme.register();
+
+        lagger.begin_op(); // announces epoch E and stays active
+        let e0 = scheme.global_epoch();
+        for _ in 0..50 {
+            worker.begin_op();
+            unsafe { retire_box(&worker, probe(&drops)) };
+            worker.end_op();
+        }
+        // The lagger pins the epoch at most one advance away.
+        assert!(scheme.global_epoch() <= e0 + 1);
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            0,
+            "nothing may free while the epoch cannot advance twice"
+        );
+
+        lagger.end_op();
+        for _ in 0..8 {
+            worker.begin_op();
+            unsafe { retire_box(&worker, probe(&drops)) };
+            worker.end_op();
+        }
+        assert!(drops.load(Ordering::SeqCst) > 0, "reclamation resumes");
+        drop(lagger);
+        drop(worker);
+        scheme.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 58);
+    }
+
+    #[test]
+    fn slow_epoch_designates_exactly_one_errant_thread() {
+        let scheme = EpochScheme::slow(8, Duration::from_millis(1), 1);
+        let h1 = scheme.register();
+        let h2 = scheme.register();
+        let h3 = scheme.register();
+        assert_eq!(
+            [h1.errant, h2.errant, h3.errant]
+                .iter()
+                .filter(|&&e| e)
+                .count(),
+            1
+        );
+        assert_eq!(scheme.name(), "slow-epoch");
+    }
+
+    #[test]
+    fn slow_epoch_injects_measurable_delay() {
+        let scheme = EpochScheme::slow(1024, Duration::from_millis(5), 2);
+        let errant = scheme.register();
+        assert!(errant.errant);
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            errant.begin_op();
+            errant.end_op();
+        }
+        // ops 2 and 4 each waited ≥5ms.
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn handle_drop_does_not_strand_garbage() {
+        let drops = Arc::new(Counter::new(0));
+        let scheme = EpochScheme::with_threshold(1_000_000);
+        {
+            let handle = scheme.register();
+            for _ in 0..10 {
+                handle.begin_op();
+                unsafe { retire_box(&handle, probe(&drops)) };
+                handle.end_op();
+            }
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        scheme.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn concurrent_epoch_usage_is_leak_free() {
+        let drops = Arc::new(Counter::new(0));
+        let scheme = Arc::new(EpochScheme::with_threshold(32));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let scheme = Arc::clone(&scheme);
+                let drops = Arc::clone(&drops);
+                s.spawn(move || {
+                    let handle = scheme.register();
+                    for _ in 0..1000 {
+                        handle.begin_op();
+                        unsafe { retire_box(&handle, probe(&drops)) };
+                        handle.end_op();
+                    }
+                });
+            }
+        });
+        scheme.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 4000);
+        assert_eq!(scheme.outstanding(), 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Hazard pointers (Michael, 2004) — §6 "Techniques" #2.
+//!
+//! Each thread owns `K` hazard slots. Before dereferencing a shared
+//! pointer, a reader publishes its (untagged) address to a slot, executes a
+//! **full fence**, and re-validates the source — the per-traversal-step
+//! barrier that the paper identifies as hazard pointers' scalability cost
+//! ("all threads must synchronize with the reclaiming thread by executing a
+//! memory fence for each new hazard pointer").
+//!
+//! Retired nodes collect in a per-thread list; when it reaches the scan
+//! threshold the thread snapshots every thread's hazard slots and frees the
+//! retired nodes no hazard protects.
+
+use std::cell::RefCell;
+use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::api::{DropFn, Smr, SmrHandle};
+
+/// Tag bits ignored when publishing/validating hazards (Harris-style mark
+/// bits live in the low bits of next pointers).
+const TAG_MASK: usize = 0b111;
+
+struct RetiredRec {
+    addr: usize,
+    drop_fn: DropFn,
+}
+
+struct HpThreadRec {
+    hazards: Box<[AtomicUsize]>,
+    /// Still owned by a live handle? Records of dropped handles are
+    /// retained in the registry until their hazards are provably clear,
+    /// then pruned lazily.
+    active: AtomicBool,
+}
+
+struct HpInner {
+    slots_per_thread: usize,
+    scan_threshold: usize,
+    threads: Mutex<Vec<Arc<HpThreadRec>>>,
+    /// Retired lists inherited from exited threads.
+    orphans: Mutex<Vec<RetiredRec>>,
+    outstanding: AtomicUsize,
+}
+
+/// The hazard-pointer scheme.
+pub struct HazardPointers {
+    inner: Arc<HpInner>,
+}
+
+impl HazardPointers {
+    /// `K = 8` slots per thread, scan threshold 64 — comfortable for the
+    /// three evaluation structures (≤ 3 simultaneous references).
+    pub fn new() -> Self {
+        Self::with_params(8, 64)
+    }
+
+    /// Custom slot count and retired-list scan threshold.
+    pub fn with_params(slots_per_thread: usize, scan_threshold: usize) -> Self {
+        assert!(slots_per_thread >= 1);
+        assert!(scan_threshold >= 1);
+        Self {
+            inner: Arc::new(HpInner {
+                slots_per_thread,
+                scan_threshold,
+                threads: Mutex::new(Vec::new()),
+                orphans: Mutex::new(Vec::new()),
+                outstanding: AtomicUsize::new(0),
+            }),
+        }
+    }
+}
+
+impl Default for HazardPointers {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-thread hazard-pointer handle.
+pub struct HpHandle {
+    inner: Arc<HpInner>,
+    rec: Arc<HpThreadRec>,
+    retired: RefCell<Vec<RetiredRec>>,
+}
+
+impl Smr for HazardPointers {
+    type Handle = HpHandle;
+
+    fn register(&self) -> HpHandle {
+        let rec = Arc::new(HpThreadRec {
+            hazards: (0..self.inner.slots_per_thread)
+                .map(|_| AtomicUsize::new(0))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            active: AtomicBool::new(true),
+        });
+        self.inner.threads.lock().push(Arc::clone(&rec));
+        HpHandle {
+            inner: Arc::clone(&self.inner),
+            rec,
+            retired: RefCell::new(Vec::new()),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hazard"
+    }
+
+    fn outstanding(&self) -> usize {
+        self.inner.outstanding.load(Ordering::Relaxed)
+    }
+
+    fn quiesce(&self) {
+        // Free whatever the orphan list holds that no hazard protects.
+        scan_and_free(&self.inner, &mut Vec::new());
+    }
+}
+
+/// Snapshot all hazards, then split `retired` + the orphan list into
+/// freed-now vs still-protected (which go back to the orphan list).
+fn scan_and_free(inner: &HpInner, retired: &mut Vec<RetiredRec>) {
+    let mut protected: Vec<usize> = Vec::new();
+    {
+        let mut threads = inner.threads.lock();
+        // Prune records of exited threads whose hazards are clear.
+        threads.retain(|rec| {
+            let live = rec.active.load(Ordering::Acquire)
+                || rec.hazards.iter().any(|h| h.load(Ordering::Acquire) != 0);
+            live
+        });
+        for rec in threads.iter() {
+            for h in rec.hazards.iter() {
+                let v = h.load(Ordering::Acquire);
+                if v != 0 {
+                    protected.push(v);
+                }
+            }
+        }
+    }
+    protected.sort_unstable();
+
+    let mut work = std::mem::take(retired);
+    work.append(&mut inner.orphans.lock());
+    let mut kept = Vec::new();
+    let mut freed = 0usize;
+    for rec in work {
+        if protected.binary_search(&rec.addr).is_ok() {
+            kept.push(rec);
+        } else {
+            // SAFETY: the node is unlinked (retire contract) and no thread
+            // currently publishes a hazard for it; Michael's argument
+            // guarantees no thread can regain access.
+            unsafe { (rec.drop_fn)(rec.addr as *mut u8) };
+            freed += 1;
+        }
+    }
+    inner.outstanding.fetch_sub(freed, Ordering::Relaxed);
+    inner.orphans.lock().append(&mut kept);
+}
+
+impl SmrHandle for HpHandle {
+    #[inline]
+    fn end_op(&self) {
+        // Releasing all protections at operation end keeps the paper's
+        // cost model: protection is per-reference during traversal.
+        for h in self.rec.hazards.iter() {
+            if h.load(Ordering::Relaxed) != 0 {
+                h.store(0, Ordering::Release);
+            }
+        }
+    }
+
+    #[inline]
+    fn load_protected(&self, slot: usize, src: &AtomicPtr<u8>) -> *mut u8 {
+        let hazard = &self.rec.hazards[slot];
+        loop {
+            let p = src.load(Ordering::Acquire);
+            let clean = (p as usize) & !TAG_MASK;
+            if clean == 0 {
+                hazard.store(0, Ordering::Release);
+                return p;
+            }
+            hazard.store(clean, Ordering::Release);
+            // The fence the paper charges hazard pointers for: makes the
+            // hazard publication visible before the validating re-read.
+            fence(Ordering::SeqCst);
+            if src.load(Ordering::Acquire) == p {
+                return p;
+            }
+            // Source changed: retry (the node we protected may already be
+            // unlinked; protecting it is harmless, using it is not).
+        }
+    }
+
+    unsafe fn retire(&self, addr: usize, _size: usize, drop_fn: DropFn) {
+        debug_assert_eq!(addr & TAG_MASK, 0, "retired addresses must be untagged");
+        self.inner.outstanding.fetch_add(1, Ordering::Relaxed);
+        let mut retired = self.retired.borrow_mut();
+        retired.push(RetiredRec { addr, drop_fn });
+        if retired.len() >= self.inner.scan_threshold {
+            scan_and_free(&self.inner, &mut retired);
+        }
+    }
+
+    fn protection_slots(&self) -> usize {
+        self.inner.slots_per_thread
+    }
+}
+
+impl Drop for HpHandle {
+    fn drop(&mut self) {
+        for h in self.rec.hazards.iter() {
+            h.store(0, Ordering::Release);
+        }
+        self.rec.active.store(false, Ordering::Release);
+        // Bequeath the retired list (Michael's "thread exit" case).
+        let mut retired = self.retired.borrow_mut();
+        scan_and_free(&self.inner, &mut retired);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::retire_box;
+    use std::sync::atomic::AtomicUsize as Counter;
+
+    struct Probe {
+        drops: Arc<Counter>,
+    }
+    impl Drop for Probe {
+        fn drop(&mut self) {
+            self.drops.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    fn probe(drops: &Arc<Counter>) -> *mut Probe {
+        Box::into_raw(Box::new(Probe {
+            drops: Arc::clone(drops),
+        }))
+    }
+
+    #[test]
+    fn unprotected_nodes_free_at_threshold() {
+        let drops = Arc::new(Counter::new(0));
+        let scheme = HazardPointers::with_params(4, 8);
+        let handle = scheme.register();
+        for _ in 0..8 {
+            unsafe { retire_box(&handle, probe(&drops)) };
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 8);
+        assert_eq!(scheme.outstanding(), 0);
+    }
+
+    #[test]
+    fn hazard_protects_node_across_scan() {
+        let drops = Arc::new(Counter::new(0));
+        let scheme = HazardPointers::with_params(4, 4);
+        let writer = scheme.register();
+        let reader = scheme.register();
+
+        let p = probe(&drops);
+        let shared = AtomicPtr::new(p.cast::<u8>());
+        // Reader protects the node.
+        let got = reader.load_protected(0, &shared);
+        assert_eq!(got, p.cast::<u8>());
+
+        // Writer unlinks and retires it plus filler to force two scans
+        // (threshold 4: pinned+3 fillers scan once, 4 more scan again).
+        shared.store(std::ptr::null_mut(), Ordering::Release);
+        unsafe { retire_box(&writer, p) };
+        for _ in 0..7 {
+            unsafe { retire_box(&writer, probe(&drops)) };
+        }
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            7,
+            "only unprotected nodes may be freed"
+        );
+        assert_eq!(scheme.outstanding(), 1);
+
+        // Reader finishes its operation: protection released.
+        reader.end_op();
+        for _ in 0..4 {
+            unsafe { retire_box(&writer, probe(&drops)) };
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 12);
+        assert_eq!(scheme.outstanding(), 0);
+    }
+
+    #[test]
+    fn tagged_pointer_protection_uses_untagged_address() {
+        let drops = Arc::new(Counter::new(0));
+        let scheme = HazardPointers::with_params(2, 2);
+        let reader = scheme.register();
+        let p = probe(&drops);
+        // Publish a tagged pointer (simulating a Harris mark bit).
+        let tagged = ((p as usize) | 1) as *mut u8;
+        let shared = AtomicPtr::new(tagged);
+        let got = reader.load_protected(0, &shared);
+        assert_eq!(got as usize, p as usize | 1, "tag preserved for caller");
+        assert_eq!(
+            reader.rec.hazards[0].load(Ordering::SeqCst),
+            p as usize,
+            "hazard slot holds the untagged address"
+        );
+        unsafe { drop(Box::from_raw(p)) };
+    }
+
+    #[test]
+    fn handle_drop_bequeaths_retired_nodes() {
+        let drops = Arc::new(Counter::new(0));
+        let scheme = HazardPointers::with_params(2, 1000);
+        let reader = scheme.register();
+        {
+            let writer = scheme.register();
+            let pinned = probe(&drops);
+            let shared = AtomicPtr::new(pinned.cast::<u8>());
+            let _ = reader.load_protected(0, &shared);
+            unsafe { retire_box(&writer, pinned) };
+            unsafe { retire_box(&writer, probe(&drops)) };
+            // writer exits with 2 retired nodes; the pinned one survives.
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        reader.end_op();
+        scheme.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+        assert_eq!(scheme.outstanding(), 0);
+    }
+
+    #[test]
+    fn concurrent_traffic_frees_everything_eventually() {
+        let drops = Arc::new(Counter::new(0));
+        let scheme = Arc::new(HazardPointers::with_params(4, 16));
+        let total = Arc::new(Counter::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let scheme = Arc::clone(&scheme);
+                let drops = Arc::clone(&drops);
+                let total = Arc::clone(&total);
+                s.spawn(move || {
+                    let handle = scheme.register();
+                    for _ in 0..500 {
+                        unsafe { retire_box(&handle, probe(&drops)) };
+                        total.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        scheme.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), total.load(Ordering::SeqCst));
+        assert_eq!(scheme.outstanding(), 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! The `Leaky` baseline: no reclamation at all.
+//!
+//! §6 "Techniques" #1: "The original memory leaking data-structure
+//! implementation without any memory reclamation." It is the performance
+//! ceiling every real scheme is measured against — reads are invisible and
+//! `free` is free (because it does nothing).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::api::{DropFn, Smr, SmrHandle};
+
+/// No-op reclamation: retired nodes are intentionally leaked.
+pub struct Leaky {
+    leaked: Arc<AtomicUsize>,
+    leaked_bytes: Arc<AtomicUsize>,
+}
+
+impl Leaky {
+    /// Creates a leaky "scheme".
+    pub fn new() -> Self {
+        Self {
+            leaked: Arc::new(AtomicUsize::new(0)),
+            leaked_bytes: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Nodes leaked so far.
+    pub fn leaked(&self) -> usize {
+        self.leaked.load(Ordering::Relaxed)
+    }
+
+    /// Bytes leaked so far.
+    pub fn leaked_bytes(&self) -> usize {
+        self.leaked_bytes.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Leaky {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-thread handle for [`Leaky`].
+pub struct LeakyHandle {
+    leaked: Arc<AtomicUsize>,
+    leaked_bytes: Arc<AtomicUsize>,
+}
+
+impl Smr for Leaky {
+    type Handle = LeakyHandle;
+
+    fn register(&self) -> LeakyHandle {
+        LeakyHandle {
+            leaked: Arc::clone(&self.leaked),
+            leaked_bytes: Arc::clone(&self.leaked_bytes),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "leaky"
+    }
+
+    fn outstanding(&self) -> usize {
+        self.leaked()
+    }
+}
+
+impl SmrHandle for LeakyHandle {
+    unsafe fn retire(&self, _addr: usize, size: usize, _drop_fn: DropFn) {
+        // Deliberately never calls drop_fn.
+        self.leaked.fetch_add(1, Ordering::Relaxed);
+        self.leaked_bytes.fetch_add(size, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::retire_box;
+
+    #[test]
+    fn leaky_never_frees() {
+        struct MustNotDrop(#[allow(dead_code)] [u8; 16]);
+        impl Drop for MustNotDrop {
+            fn drop(&mut self) {
+                panic!("Leaky must never run destructors");
+            }
+        }
+        let scheme = Leaky::new();
+        let handle = scheme.register();
+        let p = Box::into_raw(Box::new(MustNotDrop([0; 16])));
+        unsafe { retire_box(&handle, p) };
+        assert_eq!(scheme.leaked(), 1);
+        assert_eq!(scheme.outstanding(), 1);
+        assert!(scheme.leaked_bytes() >= 1);
+        // The node is intentionally leaked (that is the scheme's point).
+    }
+
+    #[test]
+    fn leak_counters_accumulate() {
+        fn never(_p: *mut u8) {}
+        let scheme = Leaky::new();
+        let handle = scheme.register();
+        for _ in 0..10 {
+            let p = Box::into_raw(Box::new([0u8; 32]));
+            unsafe { handle.retire(p as usize, 32, never) };
+            unsafe { drop(Box::from_raw(p)) }; // retire didn't free; we do
+        }
+        assert_eq!(scheme.leaked(), 10);
+        assert_eq!(scheme.leaked_bytes(), 320);
+    }
+}

@@ -1,0 +1,470 @@
+//! Harris' lock-free linked list (DISC 2001), the paper's first evaluation
+//! structure (§6: "Code was adapted for C from the Java provided in \[25\].
+//! Each node was padded to 172 bytes to avoid false sharing.").
+//!
+//! * Sorted singly-linked list of `u64` keys.
+//! * Deletion is two-phase: CAS the victim's own `next` pointer to set the
+//!   mark bit (logical), then CAS the predecessor's `next` to unlink it
+//!   (physical). Whoever performs the *physical* unlink retires the node
+//!   through the reclamation scheme.
+//! * Traversals are unsynchronized reads; under hazard pointers each step
+//!   goes through `load_protected` (publish + fence + validate), which is
+//!   precisely the cost the paper charges that scheme.
+
+use core::marker::PhantomData;
+use core::sync::atomic::{AtomicPtr, Ordering};
+
+use ts_smr::{Smr, SmrHandle};
+
+use crate::set_trait::ConcurrentSet;
+use crate::tagged::{is_marked, marked, untagged};
+
+/// Padding that brings a node to the paper's 172 bytes
+/// (8 next + 8 key + 156 pad = 172, rounded to 176 by alignment).
+const NODE_PAD: usize = 156;
+
+/// Protection-slot roles during traversal.
+const SLOT_A: usize = 0;
+const SLOT_B: usize = 1;
+const SLOT_C: usize = 2;
+
+#[repr(C)]
+pub(crate) struct Node {
+    /// Tagged pointer to the next node (low bit = logically deleted).
+    /// First field, so an interior pointer to it equals the node address.
+    next: AtomicPtr<u8>,
+    key: u64,
+    _pad: [u8; NODE_PAD],
+}
+
+impl Node {
+    fn new(key: u64, next: *mut u8) -> Box<Self> {
+        Box::new(Self {
+            next: AtomicPtr::new(next),
+            key,
+            _pad: [0; NODE_PAD],
+        })
+    }
+}
+
+/// The lock-free sorted linked list.
+pub struct HarrisList<S: Smr> {
+    /// Acts as the predecessor field for the first node.
+    head: AtomicPtr<u8>,
+    _scheme: PhantomData<fn(&S)>,
+}
+
+// SAFETY: all shared state is atomics; nodes are managed through `S`.
+unsafe impl<S: Smr> Send for HarrisList<S> {}
+unsafe impl<S: Smr> Sync for HarrisList<S> {}
+
+impl<S: Smr> HarrisList<S> {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+            _scheme: PhantomData,
+        }
+    }
+
+    /// Finds the first node with `node.key >= key`.
+    ///
+    /// Returns `(prev_field, curr)` where `*prev_field == curr` at
+    /// observation time and `curr` (possibly null) is unmarked. Unlinks
+    /// (and retires) marked nodes encountered on the way — Harris' helping
+    /// rule; the unlinking thread owns the retire.
+    fn search(&self, h: &S::Handle, key: u64) -> (*const AtomicPtr<u8>, *mut Node) {
+        'retry: loop {
+            let mut prev: *const AtomicPtr<u8> = &self.head;
+            // Slots: prev's node (none yet), curr, next — rotate as we walk.
+            let mut curr_slot = SLOT_A;
+            let mut prev_slot = SLOT_B; // unused until we advance once
+            // SAFETY: `prev` points at self.head or a protected node's field.
+            let mut curr = h.load_protected(curr_slot, unsafe { &*prev });
+            loop {
+                let curr_node_ptr = untagged(curr) as *mut Node;
+                if curr_node_ptr.is_null() {
+                    return (prev, std::ptr::null_mut());
+                }
+                // SAFETY: curr is protected (hazard) or the scheme
+                // guarantees grace (epoch/threadscan/leaky).
+                let curr_node = unsafe { &*curr_node_ptr };
+                let next_slot = SLOT_A + SLOT_B + SLOT_C - prev_slot - curr_slot;
+                let next = h.load_protected(next_slot, &curr_node.next);
+                if is_marked(next) {
+                    // curr is logically deleted: attempt physical unlink.
+                    // SAFETY: prev field belongs to head or a protected node.
+                    match unsafe { &*prev }.compare_exchange(
+                        curr,
+                        untagged(next),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => {
+                            // We unlinked it: we retire it.
+                            // SAFETY: the node is now unreachable from the
+                            // list and this is the only unlink (the CAS).
+                            unsafe {
+                                h.retire(
+                                    curr_node_ptr as usize,
+                                    core::mem::size_of::<Node>(),
+                                    drop_node,
+                                )
+                            };
+                            curr = untagged(next);
+                            curr_slot = next_slot;
+                            continue;
+                        }
+                        Err(_) => continue 'retry,
+                    }
+                }
+                if curr_node.key >= key {
+                    return (prev, curr_node_ptr);
+                }
+                prev = &curr_node.next;
+                prev_slot = curr_slot;
+                curr_slot = next_slot;
+                curr = next;
+            }
+        }
+    }
+
+    /// Sequential length (test/diagnostic; not linearizable).
+    pub fn len_sequential(&self) -> usize {
+        let mut n = 0;
+        let mut cur = untagged(self.head.load(Ordering::Acquire)) as *const Node;
+        while !cur.is_null() {
+            let node = unsafe { &*cur };
+            if !is_marked(node.next.load(Ordering::Acquire)) {
+                n += 1;
+            }
+            cur = untagged(node.next.load(Ordering::Acquire)) as *const Node;
+        }
+        n
+    }
+
+    /// Sequential key dump (test/diagnostic; unmarked nodes only).
+    pub fn keys_sequential(&self) -> Vec<u64> {
+        let mut keys = Vec::new();
+        let mut cur = untagged(self.head.load(Ordering::Acquire)) as *const Node;
+        while !cur.is_null() {
+            let node = unsafe { &*cur };
+            if !is_marked(node.next.load(Ordering::Acquire)) {
+                keys.push(node.key);
+            }
+            cur = untagged(node.next.load(Ordering::Acquire)) as *const Node;
+        }
+        keys
+    }
+}
+
+/// Type-erased destructor used when retiring list nodes.
+unsafe fn drop_node(p: *mut u8) {
+    drop(Box::from_raw(p.cast::<Node>()));
+}
+
+impl<S: Smr> Default for HarrisList<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Smr> ConcurrentSet<S> for HarrisList<S> {
+    fn contains(&self, h: &S::Handle, key: u64) -> bool {
+        h.begin_op();
+        // Read-only traversal: two alternating protection slots.
+        let result = 'retry: loop {
+            let mut slot = SLOT_A;
+            let mut curr = h.load_protected(slot, &self.head);
+            loop {
+                let node_ptr = untagged(curr) as *const Node;
+                if node_ptr.is_null() {
+                    break 'retry false;
+                }
+                // SAFETY: protected (hazard) or grace-protected node.
+                let node = unsafe { &*node_ptr };
+                let other = SLOT_A + SLOT_B - slot;
+                let next = h.load_protected(other, &node.next);
+                if node.key >= key {
+                    break 'retry node.key == key && !is_marked(next);
+                }
+                if is_marked(next) {
+                    // `node` was deleted under us. Its frozen next field
+                    // is not a sound protection source (the successor may
+                    // already be retired through its live predecessor):
+                    // restart from the head.
+                    continue 'retry;
+                }
+                slot = other;
+                curr = next;
+            }
+        };
+        h.end_op();
+        result
+    }
+
+    fn insert(&self, h: &S::Handle, key: u64) -> bool {
+        h.begin_op();
+        let node = Box::into_raw(Node::new(key, std::ptr::null_mut()));
+        let result = loop {
+            let (prev, curr) = self.search(h, key);
+            if !curr.is_null() && unsafe { (*curr).key } == key {
+                // SAFETY: `node` was never published.
+                unsafe { drop(Box::from_raw(node)) };
+                break false;
+            }
+            // SAFETY: node is ours until the CAS publishes it.
+            unsafe { (*node).next.store(curr as *mut u8, Ordering::Relaxed) };
+            // SAFETY: prev field is head or a field of a protected node.
+            match unsafe { &*prev }.compare_exchange(
+                curr as *mut u8,
+                node as *mut u8,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break true,
+                Err(_) => continue,
+            }
+        };
+        h.end_op();
+        result
+    }
+
+    fn remove(&self, h: &S::Handle, key: u64) -> bool {
+        h.begin_op();
+        let result = loop {
+            let (prev, curr) = self.search(h, key);
+            if curr.is_null() || unsafe { (*curr).key } != key {
+                break false;
+            }
+            // SAFETY: curr is protected by search's final state.
+            let curr_node = unsafe { &*curr };
+            let next = curr_node.next.load(Ordering::Acquire);
+            if is_marked(next) {
+                continue; // concurrently deleted; re-search to help unlink
+            }
+            // Logical deletion: set the mark bit on curr's next pointer.
+            if curr_node
+                .next
+                .compare_exchange(next, marked(next), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // Physical unlink; on failure a helping search does it.
+                // SAFETY: prev field valid as in search.
+                if unsafe { &*prev }
+                    .compare_exchange(
+                        curr as *mut u8,
+                        untagged(next),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    // SAFETY: we performed the unlink; single retire.
+                    unsafe {
+                        h.retire(curr as usize, core::mem::size_of::<Node>(), drop_node)
+                    };
+                } else {
+                    let _ = self.search(h, key); // helper unlinks + retires
+                }
+                break true;
+            }
+            // Mark CAS failed (insertion after curr, or a race): retry.
+        };
+        h.end_op();
+        result
+    }
+
+    fn kind(&self) -> &'static str {
+        "harris-list"
+    }
+}
+
+impl<S: Smr> Drop for HarrisList<S> {
+    fn drop(&mut self) {
+        // Exclusive access: free every remaining node directly.
+        let mut cur = untagged(self.head.load(Ordering::Relaxed));
+        while !cur.is_null() {
+            // SAFETY: &mut self means no concurrent access; each node is
+            // freed exactly once along the chain.
+            let node = unsafe { Box::from_raw(cur.cast::<Node>()) };
+            cur = untagged(node.next.load(Ordering::Relaxed));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use ts_smr::{EpochScheme, HazardPointers, Leaky};
+
+    /// Shared semantics tests, instantiated per scheme (each scheme takes
+    /// a genuinely different code path through `load_protected`/`retire`).
+    macro_rules! semantics_tests {
+        ($modname:ident, $ty:ty, $scheme:expr) => {
+            mod $modname {
+                use super::*;
+
+                #[test]
+                fn insert_contains_remove_roundtrip() {
+                    let scheme = $scheme;
+                    let list = HarrisList::<$ty>::new();
+                    let h = scheme.register();
+                    assert!(!list.contains(&h, 5));
+                    assert!(list.insert(&h, 5));
+                    assert!(!list.insert(&h, 5), "duplicate insert");
+                    assert!(list.contains(&h, 5));
+                    assert!(list.remove(&h, 5));
+                    assert!(!list.remove(&h, 5), "double remove");
+                    assert!(!list.contains(&h, 5));
+                }
+
+                #[test]
+                fn keys_stay_sorted_and_unique() {
+                    let scheme = $scheme;
+                    let list = HarrisList::<$ty>::new();
+                    let h = scheme.register();
+                    for k in [5u64, 1, 9, 3, 7, 1, 9] {
+                        list.insert(&h, k);
+                    }
+                    assert_eq!(list.keys_sequential(), vec![1, 3, 5, 7, 9]);
+                    list.remove(&h, 5);
+                    list.remove(&h, 1);
+                    assert_eq!(list.keys_sequential(), vec![3, 7, 9]);
+                }
+
+                #[test]
+                fn boundary_keys_work() {
+                    let scheme = $scheme;
+                    let list = HarrisList::<$ty>::new();
+                    let h = scheme.register();
+                    assert!(list.insert(&h, 0));
+                    assert!(list.insert(&h, u64::MAX));
+                    assert!(list.contains(&h, 0));
+                    assert!(list.contains(&h, u64::MAX));
+                    assert!(list.remove(&h, 0));
+                    assert!(list.contains(&h, u64::MAX));
+                }
+            }
+        };
+    }
+
+    semantics_tests!(leaky_semantics, Leaky, Leaky::new());
+    semantics_tests!(epoch_semantics, EpochScheme, EpochScheme::with_threshold(4));
+    semantics_tests!(hazard_semantics, HazardPointers, HazardPointers::with_params(4, 4));
+
+    #[test]
+    fn node_size_matches_paper_padding() {
+        // §6: nodes padded to 172 bytes (176 after 8-byte alignment).
+        assert_eq!(core::mem::size_of::<Node>(), 176);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_all_land() {
+        let scheme = Arc::new(EpochScheme::with_threshold(64));
+        let list = Arc::new(HarrisList::<EpochScheme>::new());
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let scheme = Arc::clone(&scheme);
+                let list = Arc::clone(&list);
+                s.spawn(move || {
+                    let h = scheme.register();
+                    for i in 0..200u64 {
+                        assert!(list.insert(&h, t * 1000 + i));
+                    }
+                });
+            }
+        });
+        let keys = list.keys_sequential();
+        assert_eq!(keys.len(), 1600);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+    }
+
+    #[test]
+    fn concurrent_mixed_churn_preserves_set_semantics() {
+        // Every thread owns a disjoint key range and toggles membership;
+        // the final state must match each thread's local parity.
+        let scheme = Arc::new(EpochScheme::with_threshold(32));
+        let list = Arc::new(HarrisList::<EpochScheme>::new());
+        let expected: Vec<Vec<u64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|t| {
+                    let scheme = Arc::clone(&scheme);
+                    let list = Arc::clone(&list);
+                    s.spawn(move || {
+                        let h = scheme.register();
+                        let base = t * 10_000;
+                        let mut mine = Vec::new();
+                        for i in 0..100u64 {
+                            let k = base + i;
+                            assert!(list.insert(&h, k));
+                            if i % 3 == 0 {
+                                assert!(list.remove(&h, k));
+                            } else {
+                                mine.push(k);
+                            }
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut want: Vec<u64> = expected.into_iter().flatten().collect();
+        want.sort_unstable();
+        assert_eq!(list.keys_sequential(), want);
+    }
+
+    #[test]
+    fn hazard_scheme_survives_concurrent_reads_during_removal() {
+        let scheme = Arc::new(HazardPointers::with_params(4, 8));
+        let list = Arc::new(HarrisList::<HazardPointers>::new());
+        {
+            let h = scheme.register();
+            for k in 0..128u64 {
+                list.insert(&h, k);
+            }
+        }
+        std::thread::scope(|s| {
+            // Readers hammer contains while a writer removes everything.
+            for _ in 0..3 {
+                let scheme = Arc::clone(&scheme);
+                let list = Arc::clone(&list);
+                s.spawn(move || {
+                    let h = scheme.register();
+                    for round in 0..50 {
+                        for k in 0..128u64 {
+                            let _ = list.contains(&h, k);
+                        }
+                        let _ = round;
+                    }
+                });
+            }
+            let scheme2 = Arc::clone(&scheme);
+            let list2 = Arc::clone(&list);
+            s.spawn(move || {
+                let h = scheme2.register();
+                for k in 0..128u64 {
+                    assert!(list2.remove(&h, k));
+                }
+            });
+        });
+        assert_eq!(list.len_sequential(), 0);
+        scheme.quiesce();
+        assert_eq!(scheme.outstanding(), 0, "all removed nodes reclaimed");
+    }
+
+    #[test]
+    fn drop_frees_remaining_nodes() {
+        // Leak-detection via a counting scheme is covered in integration
+        // tests; here we just make sure Drop walks a populated list.
+        let scheme = Leaky::new();
+        let list = HarrisList::<Leaky>::new();
+        let h = scheme.register();
+        for k in 0..50u64 {
+            list.insert(&h, k);
+        }
+        drop(list); // must not leak or double-free (asserted by miri/asan runs)
+    }
+}

@@ -1,0 +1,46 @@
+//! # ts-structures — the data structures from the ThreadScan evaluation
+//!
+//! Three concurrent integer sets, written once against the `ts-smr`
+//! reclamation trait and therefore runnable under all five schemes the
+//! paper compares (§6 "Data Structures"):
+//!
+//! 1. [`HarrisList`] — Harris' lock-free linked list, 172-byte padded
+//!    nodes (paper Figure 3, left).
+//! 2. [`LockFreeHashTable`] — Synchrobench-style fixed bucket array of
+//!    Harris lists, expected bucket length 32 (Figure 3, middle).
+//! 3. [`SkipList`] — lock-based optimistic (lazy) skip list with wait-free
+//!    unsynchronized `contains` (Figure 3, right).
+//!
+//! Plus [`LazyList`], the introduction's motivating structure (§1:
+//! fine-grained locks on the two adjacent nodes for updates, lock-ignoring
+//! traversals). Its Figure-1 pattern — a traversal racing a disconnect +
+//! free — is exactly the `remove`/`contains` race all four structures
+//! exhibit; the integration tests drive it under real signal-based
+//! reclamation.
+//!
+//! Beyond the evaluation's three structures, two more of the
+//! unsynchronized-traversal structures the introduction cites:
+//!
+//! * [`PriorityQueue`] — Shavit–Lotan skiplist priority queue (cite \[43\]);
+//! * [`SplitOrderedSet`] — Shalev–Shavit split-ordered-list hash table
+//!   with lock-free dynamic resizing (cite \[42\]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod harris_list;
+pub mod hash_table;
+pub mod lazy_list;
+pub mod priority_queue;
+pub mod set_trait;
+pub mod skiplist;
+pub mod split_ordered;
+pub mod tagged;
+
+pub use harris_list::HarrisList;
+pub use hash_table::LockFreeHashTable;
+pub use lazy_list::LazyList;
+pub use priority_queue::{PriorityQueue, PQ_MAX_HEIGHT, PQ_REQUIRED_SLOTS};
+pub use set_trait::ConcurrentSet;
+pub use skiplist::{SkipList, MAX_HEIGHT, REQUIRED_SLOTS};
+pub use split_ordered::SplitOrderedSet;

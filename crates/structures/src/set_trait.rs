@@ -1,0 +1,29 @@
+//! The common concurrent-set interface the evaluation drives.
+//!
+//! All three data structures in the paper's evaluation are integer sets
+//! with `contains` / `insert` / `remove`. The workload harness measures
+//! them through this trait, parameterized by the reclamation scheme — one
+//! structure implementation × five schemes, exactly like the paper.
+
+use ts_smr::Smr;
+
+/// A concurrent set of `u64` keys managed by reclamation scheme `S`.
+///
+/// Every method takes the calling thread's scheme handle: the structure
+/// brackets operations with `begin_op`/`end_op` and loads shared pointers
+/// through `load_protected`, so each scheme imposes exactly its own cost.
+pub trait ConcurrentSet<S: Smr>: Send + Sync {
+    /// Whether `key` is in the set. Uses an *unsynchronized traversal*
+    /// (no writes to shared memory) for schemes that permit it.
+    fn contains(&self, handle: &S::Handle, key: u64) -> bool;
+
+    /// Inserts `key`; returns `false` if it was already present.
+    fn insert(&self, handle: &S::Handle, key: u64) -> bool;
+
+    /// Removes `key`; returns `false` if it was absent. The removed node
+    /// is unlinked and retired through the scheme.
+    fn remove(&self, handle: &S::Handle, key: u64) -> bool;
+
+    /// Short structure name for benchmark output.
+    fn kind(&self) -> &'static str;
+}

@@ -1,0 +1,51 @@
+//! Tagged-pointer helpers for Harris-style mark bits.
+//!
+//! Harris' lock-free list steals the low bit of a node's `next` pointer as
+//! the logical-deletion mark. Nodes are 8-byte aligned, so the low three
+//! bits of real addresses are zero. ThreadScan's exact-match mode masks
+//! these bits during scans (§4.2); range matching is immune to them.
+
+/// The deletion-mark bit.
+pub const MARK: usize = 0b1;
+
+/// Whether the mark bit is set on `p`.
+#[inline]
+pub fn is_marked(p: *mut u8) -> bool {
+    (p as usize) & MARK != 0
+}
+
+/// `p` with the mark bit set.
+#[inline]
+pub fn marked(p: *mut u8) -> *mut u8 {
+    ((p as usize) | MARK) as *mut u8
+}
+
+/// `p` with all tag bits cleared.
+#[inline]
+pub fn untagged(p: *mut u8) -> *mut u8 {
+    ((p as usize) & !0b111) as *mut u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_roundtrip() {
+        let p = 0x1000usize as *mut u8;
+        assert!(!is_marked(p));
+        let m = marked(p);
+        assert!(is_marked(m));
+        assert_eq!(untagged(m), p);
+        assert_eq!(untagged(p), p);
+    }
+
+    #[test]
+    fn null_handling() {
+        let null = std::ptr::null_mut::<u8>();
+        assert!(!is_marked(null));
+        let m = marked(null);
+        assert!(is_marked(m));
+        assert!(untagged(m).is_null());
+    }
+}

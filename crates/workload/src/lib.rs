@@ -1,0 +1,30 @@
+//! # ts-workload — workload generation and the throughput harness
+//!
+//! Reproduces the paper's §6 "Methodology": uniform keys, 20% updates
+//! (half inserts / half removes), prefill to the target size, timed
+//! multi-thread measurement, averaged over runs by the calling binary.
+//!
+//! * [`params`] — the exact Figure 3 / Figure 4 parameter presets;
+//! * [`dist`] — key distributions (uniform per the paper; zipfian for the
+//!   skew ablation);
+//! * [`mix`] — deterministic per-thread operation streams;
+//! * [`runner`] — the generic measurement loop, monomorphized over all
+//!   every (scheme × structure) combination;
+//! * [`report`] — figure-style series tables + JSON lines.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dist;
+pub mod mix;
+pub mod params;
+pub mod pq;
+pub mod report;
+pub mod runner;
+
+pub use dist::{KeyDist, ZipfSampler};
+pub use mix::{prefill_keys, Op, OpMix};
+pub use params::{SchemeKind, StructureKind, WorkloadParams};
+pub use pq::{run_pq_combo, PqParams};
+pub use report::Report;
+pub use runner::{run_combo, RunResult, ThreadScanExtras};

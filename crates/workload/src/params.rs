@@ -1,0 +1,253 @@
+//! Experiment parameters, with the paper's §6 "Methodology" presets.
+
+use std::time::Duration;
+
+use crate::dist::KeyDist;
+
+/// Which evaluation data structure to drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum StructureKind {
+    /// Harris lock-free linked list (Figure 3 left).
+    List,
+    /// Lock-free hash table (Figure 3 middle).
+    Hash,
+    /// Lock-based skip list (Figure 3 right).
+    Skip,
+    /// Lazy list (the paper's §1 motivating structure; ablations only,
+    /// not part of the figures).
+    Lazy,
+    /// Split-ordered-list resizable hash table (intro cite \[42\];
+    /// ablations only, not part of the figures).
+    SplitOrdered,
+}
+
+impl StructureKind {
+    /// All three structures, figure order.
+    pub const ALL: [StructureKind; 3] = [Self::List, Self::Hash, Self::Skip];
+
+    /// The figure structures plus the beyond-figure ablation structures.
+    pub const EXTENDED: [StructureKind; 5] =
+        [Self::List, Self::Hash, Self::Skip, Self::Lazy, Self::SplitOrdered];
+
+    /// Harness label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::List => "list",
+            Self::Hash => "hash",
+            Self::Skip => "skiplist",
+            Self::Lazy => "lazy-list",
+            Self::SplitOrdered => "split-ordered",
+        }
+    }
+}
+
+/// Which reclamation scheme to run under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SchemeKind {
+    /// No reclamation (leaks) — the performance ceiling.
+    Leaky,
+    /// Hazard pointers (per-read fence).
+    Hazard,
+    /// Epoch-based reclamation.
+    Epoch,
+    /// Epoch with one 40 ms-delayed errant thread.
+    SlowEpoch,
+    /// ThreadScan over real POSIX signals.
+    ThreadScan,
+    /// StackTrack-style precise tracking (HTM emulated via asymmetric
+    /// fences; §6 text comparator, not part of the figure legends).
+    StackTrack,
+}
+
+impl SchemeKind {
+    /// The five Figure 3 schemes, legend order.
+    pub const ALL: [SchemeKind; 5] = [
+        Self::Leaky,
+        Self::Hazard,
+        Self::Epoch,
+        Self::SlowEpoch,
+        Self::ThreadScan,
+    ];
+
+    /// The Figure 4 (oversubscription) subset: "Slow Epoch and Hazard
+    /// Pointers were not included in the oversubscription experiment".
+    pub const OVERSUB: [SchemeKind; 3] = [Self::Leaky, Self::Epoch, Self::ThreadScan];
+
+    /// The figure schemes plus the StackTrack comparator from §6's text.
+    pub const EXTENDED: [SchemeKind; 6] = [
+        Self::Leaky,
+        Self::Hazard,
+        Self::Epoch,
+        Self::SlowEpoch,
+        Self::ThreadScan,
+        Self::StackTrack,
+    ];
+
+    /// Harness label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Leaky => "leaky",
+            Self::Hazard => "hazard",
+            Self::Epoch => "epoch",
+            Self::SlowEpoch => "slow-epoch",
+            Self::ThreadScan => "threadscan",
+            Self::StackTrack => "stacktrack",
+        }
+    }
+}
+
+/// One experiment cell: structure × scheme × thread count × workload shape.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadParams {
+    /// Data structure under test.
+    pub structure: StructureKind,
+    /// Resident keys after prefill.
+    pub initial_size: usize,
+    /// Keys are drawn uniformly from `[0, key_range)`.
+    pub key_range: u64,
+    /// Percentage of operations that are updates (half inserts, half
+    /// removes). Paper: 20 ("about 10% of all operations were node
+    /// removals").
+    pub update_pct: u32,
+    /// Key distribution (paper methodology: uniform).
+    pub key_dist: KeyDist,
+    /// Measurement window. Paper: 10 s × 5 runs; the harness default is
+    /// shorter so a full sweep finishes in reasonable time.
+    pub duration: Duration,
+    /// Worker thread count.
+    pub threads: usize,
+    /// ThreadScan per-thread delete-buffer capacity (1024 stock; 4096 for
+    /// the tuned Figure 4 hash-table line).
+    pub ts_buffer_capacity: usize,
+    /// Enable the §7 distributed-free extension for ThreadScan runs.
+    pub ts_distribute_frees: bool,
+    /// Use the paper's §4.2 masked exact matching instead of range
+    /// matching for ThreadScan runs. Only sound for structures whose
+    /// traversals hold node-base pointers exclusively (the Harris list:
+    /// its `next` field is at offset 0).
+    pub ts_exact_match: bool,
+    /// Slow-epoch injected delay.
+    pub slow_epoch_delay: Duration,
+    /// Slow-epoch delay cadence in operations.
+    pub slow_epoch_period_ops: usize,
+}
+
+impl WorkloadParams {
+    /// Paper list workload: "Linked lists were 1024 nodes long, and the
+    /// range of values was 2048."
+    pub fn fig3_list(threads: usize) -> Self {
+        Self::base(StructureKind::List, 1024, 2048, threads)
+    }
+
+    /// Paper hash workload: "Hash tables contained 131,072 nodes with a
+    /// range of 262,144."
+    pub fn fig3_hash(threads: usize) -> Self {
+        Self::base(StructureKind::Hash, 131_072, 262_144, threads)
+    }
+
+    /// Paper skip-list workload: "Skip lists contained 128,000 nodes with
+    /// a range of values of 256,000."
+    pub fn fig3_skip(threads: usize) -> Self {
+        Self::base(StructureKind::Skip, 128_000, 256_000, threads)
+    }
+
+    /// The Figure 3 preset for a given structure. The lazy list (not in
+    /// the figures) borrows the linked-list sizing, as §1 describes the
+    /// same list shape.
+    pub fn fig3(structure: StructureKind, threads: usize) -> Self {
+        match structure {
+            StructureKind::List => Self::fig3_list(threads),
+            StructureKind::Hash => Self::fig3_hash(threads),
+            StructureKind::Skip => Self::fig3_skip(threads),
+            StructureKind::Lazy => Self::base(StructureKind::Lazy, 1024, 2048, threads),
+            // The resizable table borrows the fixed table's sizing so the
+            // two are directly comparable in ablations.
+            StructureKind::SplitOrdered => {
+                Self::base(StructureKind::SplitOrdered, 131_072, 262_144, threads)
+            }
+        }
+    }
+
+    fn base(structure: StructureKind, initial_size: usize, key_range: u64, threads: usize) -> Self {
+        Self {
+            structure,
+            initial_size,
+            key_range,
+            update_pct: 20,
+            key_dist: KeyDist::Uniform,
+            duration: Duration::from_secs(2),
+            threads,
+            ts_buffer_capacity: 1024,
+            ts_distribute_frees: false,
+            ts_exact_match: false,
+            slow_epoch_delay: Duration::from_millis(40),
+            slow_epoch_period_ops: 4096,
+        }
+    }
+
+    /// Builder: measurement duration.
+    pub fn with_duration(mut self, d: Duration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Builder: update percentage.
+    pub fn with_update_pct(mut self, pct: u32) -> Self {
+        assert!(pct <= 100);
+        self.update_pct = pct;
+        self
+    }
+
+    /// Builder: ThreadScan buffer capacity (Figure 4 tuning).
+    pub fn with_ts_buffer(mut self, cap: usize) -> Self {
+        self.ts_buffer_capacity = cap;
+        self
+    }
+
+    /// Builder: key distribution (skew ablations).
+    pub fn with_key_dist(mut self, dist: KeyDist) -> Self {
+        self.key_dist = dist;
+        self
+    }
+
+    /// Builder: shrink the workload by `factor` (both size and range), for
+    /// smoke tests and CI.
+    pub fn scaled_down(mut self, factor: usize) -> Self {
+        assert!(factor >= 1);
+        self.initial_size = (self.initial_size / factor).max(16);
+        self.key_range = (self.key_range / factor as u64).max(32);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_presets_match_methodology() {
+        let l = WorkloadParams::fig3_list(8);
+        assert_eq!((l.initial_size, l.key_range, l.update_pct), (1024, 2048, 20));
+        let h = WorkloadParams::fig3_hash(8);
+        assert_eq!((h.initial_size, h.key_range), (131_072, 262_144));
+        let s = WorkloadParams::fig3_skip(8);
+        assert_eq!((s.initial_size, s.key_range), (128_000, 256_000));
+        assert_eq!(l.ts_buffer_capacity, 1024);
+        assert_eq!(l.slow_epoch_delay, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn oversub_subset_matches_figure4_legend() {
+        assert_eq!(
+            SchemeKind::OVERSUB.map(|s| s.label()),
+            ["leaky", "epoch", "threadscan"]
+        );
+    }
+
+    #[test]
+    fn scaled_down_keeps_ratio_reasonable() {
+        let p = WorkloadParams::fig3_hash(4).scaled_down(64);
+        assert_eq!(p.initial_size, 2048);
+        assert_eq!(p.key_range, 4096);
+    }
+}

@@ -1,0 +1,237 @@
+//! Priority-queue workload runner (beyond-paper ablation).
+//!
+//! The paper's harness drives integer *sets*; the Shavit–Lotan priority
+//! queue has a different shape — `delete_min` is an update that always
+//! retires a node, so the retire rate per operation is far higher than
+//! the 10% the set workloads produce. That makes it a stress ablation
+//! for reclamation: at a 50/50 insert/delete-min mix, *half of all
+//! operations* feed the delete buffers.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ts_sigscan::SignalPlatform;
+use ts_smr::{EpochScheme, HazardPointers, Leaky, Smr, StackTrackSim, ThreadScanSmr};
+use ts_structures::{PriorityQueue, PQ_REQUIRED_SLOTS};
+
+use crate::params::SchemeKind;
+use crate::runner::RunResult;
+
+/// Parameters for one priority-queue cell.
+#[derive(Debug, Clone)]
+pub struct PqParams {
+    /// Items prefilled before measurement.
+    pub prefill: usize,
+    /// Percentage of operations that are inserts (the rest are
+    /// delete-mins). 50 keeps the queue size stationary.
+    pub insert_pct: u32,
+    /// Measurement window.
+    pub duration: Duration,
+    /// Worker thread count.
+    pub threads: usize,
+    /// ThreadScan per-thread delete-buffer capacity.
+    pub ts_buffer_capacity: usize,
+}
+
+impl Default for PqParams {
+    fn default() -> Self {
+        Self {
+            prefill: 10_000,
+            insert_pct: 50,
+            duration: Duration::from_secs(1),
+            threads: 2,
+            ts_buffer_capacity: 1024,
+        }
+    }
+}
+
+impl PqParams {
+    /// Builder: thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builder: measurement duration.
+    pub fn with_duration(mut self, d: Duration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Builder: prefill size.
+    pub fn with_prefill(mut self, n: usize) -> Self {
+        self.prefill = n;
+        self
+    }
+}
+
+/// Drives one scheme × thread-count priority-queue cell.
+pub fn run_pq_combo(scheme: SchemeKind, params: &PqParams) -> RunResult {
+    match scheme {
+        SchemeKind::Leaky => {
+            let s = Arc::new(Leaky::new());
+            let (ops, secs) = drive_pq(&s, params);
+            finish(scheme, params, ops, secs, None, Some(s.leaked()))
+        }
+        SchemeKind::Hazard => {
+            let s = Arc::new(HazardPointers::with_params(PQ_REQUIRED_SLOTS, 64));
+            let (ops, secs) = drive_pq(&s, params);
+            s.quiesce();
+            finish(scheme, params, ops, secs, Some(s.outstanding()), None)
+        }
+        SchemeKind::Epoch => {
+            let s = Arc::new(EpochScheme::with_threshold(1024));
+            let (ops, secs) = drive_pq(&s, params);
+            s.quiesce();
+            finish(scheme, params, ops, secs, Some(s.outstanding()), None)
+        }
+        SchemeKind::SlowEpoch => {
+            let s = Arc::new(EpochScheme::slow(
+                1024,
+                Duration::from_millis(40),
+                4096,
+            ));
+            let (ops, secs) = drive_pq(&s, params);
+            s.quiesce();
+            finish(scheme, params, ops, secs, Some(s.outstanding()), None)
+        }
+        SchemeKind::StackTrack => {
+            let s = Arc::new(StackTrackSim::new());
+            let (ops, secs) = drive_pq(&s, params);
+            s.quiesce();
+            finish(scheme, params, ops, secs, Some(s.outstanding()), None)
+        }
+        SchemeKind::ThreadScan => {
+            let platform =
+                SignalPlatform::new().expect("signal platform unavailable on this system");
+            let config = threadscan::CollectorConfig::default()
+                .with_buffer_capacity(params.ts_buffer_capacity);
+            let s = Arc::new(ThreadScanSmr::with_config(platform, config));
+            let (ops, secs) = drive_pq(&s, params);
+            s.quiesce();
+            finish(scheme, params, ops, secs, Some(s.outstanding()), None)
+        }
+    }
+}
+
+/// The measurement loop: prefill, barrier start, timed mixed ops.
+fn drive_pq<S: Smr>(scheme: &Arc<S>, params: &PqParams) -> (u64, f64) {
+    let pq = Arc::new(PriorityQueue::<S>::new());
+    {
+        let h = scheme.register();
+        let mut rng = SmallRng::seed_from_u64(0xF1F0);
+        let mut inserted = 0usize;
+        while inserted < params.prefill {
+            if pq.insert(&h, rng.gen::<u64>() >> 1) {
+                inserted += 1;
+            }
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let start_barrier = Arc::new(Barrier::new(params.threads + 1));
+    let total_ops = Arc::new(AtomicU64::new(0));
+    let elapsed_holder = AtomicU64::new(0);
+    let elapsed_holder = &elapsed_holder;
+
+    std::thread::scope(|s| {
+        for t in 0..params.threads {
+            let scheme = Arc::clone(scheme);
+            let pq = Arc::clone(&pq);
+            let stop = Arc::clone(&stop);
+            let start_barrier = Arc::clone(&start_barrier);
+            let total_ops = Arc::clone(&total_ops);
+            let params = params.clone();
+            s.spawn(move || {
+                let h = scheme.register();
+                let mut rng = SmallRng::seed_from_u64(0xBEE5 ^ (t as u64) << 1);
+                start_barrier.wait();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..64 {
+                        if rng.gen_range(0..100u32) < params.insert_pct {
+                            pq.insert(&h, rng.gen::<u64>() >> 1);
+                        } else {
+                            pq.delete_min(&h);
+                        }
+                        ops += 1;
+                    }
+                }
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        start_barrier.wait();
+        let t0 = std::time::Instant::now();
+        std::thread::sleep(params.duration);
+        stop.store(true, Ordering::Relaxed);
+        elapsed_holder.store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+    });
+
+    let elapsed = elapsed_holder.load(Ordering::Relaxed) as f64 / 1e6;
+    (total_ops.load(Ordering::Relaxed), elapsed)
+}
+
+fn finish(
+    scheme: SchemeKind,
+    params: &PqParams,
+    ops: u64,
+    secs: f64,
+    outstanding: Option<usize>,
+    leaked: Option<usize>,
+) -> RunResult {
+    RunResult {
+        scheme: scheme.label().to_string(),
+        structure: "priority-queue".to_string(),
+        threads: params.threads,
+        duration_s: secs,
+        total_ops: ops,
+        ops_per_sec: ops as f64 / secs.max(1e-9),
+        outstanding_after: outstanding,
+        leaked,
+        threadscan: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> PqParams {
+        PqParams::default()
+            .with_prefill(256)
+            .with_duration(Duration::from_millis(120))
+            .with_threads(2)
+    }
+
+    #[test]
+    fn every_scheme_completes_on_the_priority_queue() {
+        for scheme in SchemeKind::ALL {
+            let r = run_pq_combo(scheme, &quick());
+            assert!(r.total_ops > 0, "{:?} produced no ops", scheme);
+            assert_eq!(r.structure, "priority-queue");
+        }
+    }
+
+    #[test]
+    fn delete_heavy_mix_reclaims_under_threadscan() {
+        let mut p = quick();
+        p.ts_buffer_capacity = 64;
+        p.insert_pct = 40; // delete-min-heavy: drains + retires constantly
+        p.prefill = 2_000;
+        let r = run_pq_combo(SchemeKind::ThreadScan, &p);
+        let outstanding = r.outstanding_after.unwrap();
+        assert!(
+            outstanding < 5_000,
+            "outstanding {outstanding} after quiesce"
+        );
+    }
+
+    #[test]
+    fn leaky_leaks_every_delete_min() {
+        let r = run_pq_combo(SchemeKind::Leaky, &quick());
+        assert!(r.leaked.unwrap() > 0, "delete_min must leak under Leaky");
+    }
+}

@@ -1,0 +1,149 @@
+//! Result reporting: aligned text tables (the figure series) and JSON
+//! lines for downstream plotting.
+
+use std::io::Write;
+
+use crate::runner::RunResult;
+
+/// Collects results for one experiment and renders them.
+#[derive(Default)]
+pub struct Report {
+    results: Vec<RunResult>,
+    /// Experiment identifier, e.g. `"fig3"`.
+    pub experiment: String,
+}
+
+impl Report {
+    /// A report for the named experiment.
+    pub fn new(experiment: &str) -> Self {
+        Self {
+            results: Vec::new(),
+            experiment: experiment.to_string(),
+        }
+    }
+
+    /// Adds one measured cell.
+    pub fn push(&mut self, result: RunResult) {
+        self.results.push(result);
+    }
+
+    /// All results so far.
+    pub fn results(&self) -> &[RunResult] {
+        &self.results
+    }
+
+    /// Renders the figure as the paper presents it: one block per
+    /// structure, thread counts as rows, schemes as columns, throughput
+    /// (Mops/s) as cells.
+    pub fn render_series(&self) -> String {
+        let mut out = String::new();
+        let mut structures: Vec<String> =
+            self.results.iter().map(|r| r.structure.clone()).collect();
+        structures.sort();
+        structures.dedup();
+        for structure in &structures {
+            let rows: Vec<&RunResult> = self
+                .results
+                .iter()
+                .filter(|r| &r.structure == structure)
+                .collect();
+            let mut schemes: Vec<String> = rows.iter().map(|r| r.scheme.clone()).collect();
+            schemes.sort();
+            schemes.dedup();
+            let mut threads: Vec<usize> = rows.iter().map(|r| r.threads).collect();
+            threads.sort_unstable();
+            threads.dedup();
+
+            out.push_str(&format!(
+                "\n== {} : {structure} (throughput, Mops/s) ==\n",
+                self.experiment
+            ));
+            out.push_str(&format!("{:>8}", "threads"));
+            for s in &schemes {
+                out.push_str(&format!("{s:>14}"));
+            }
+            out.push('\n');
+            for &t in &threads {
+                out.push_str(&format!("{t:>8}"));
+                for s in &schemes {
+                    let cell = rows
+                        .iter()
+                        .find(|r| r.threads == t && &r.scheme == s)
+                        .map(|r| format!("{:>14.3}", r.ops_per_sec / 1e6))
+                        .unwrap_or_else(|| format!("{:>14}", "-"));
+                    out.push_str(&cell);
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Serializes every result as one JSON object per line.
+    pub fn to_json_lines(&self) -> String {
+        self.results
+            .iter()
+            .map(|r| serde_json::to_string(r).expect("RunResult serializes"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Writes the JSON lines to `path`.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", self.to_json_lines())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunResult;
+
+    fn result(structure: &str, scheme: &str, threads: usize, mops: f64) -> RunResult {
+        RunResult {
+            scheme: scheme.into(),
+            structure: structure.into(),
+            threads,
+            duration_s: 1.0,
+            total_ops: (mops * 1e6) as u64,
+            ops_per_sec: mops * 1e6,
+            outstanding_after: Some(0),
+            leaked: None,
+            threadscan: None,
+        }
+    }
+
+    #[test]
+    fn series_renders_grid() {
+        let mut rep = Report::new("fig3");
+        rep.push(result("list", "leaky", 1, 1.0));
+        rep.push(result("list", "leaky", 2, 1.9));
+        rep.push(result("list", "threadscan", 1, 0.9));
+        rep.push(result("list", "threadscan", 2, 1.8));
+        let s = rep.render_series();
+        assert!(s.contains("fig3 : list"));
+        assert!(s.contains("leaky"));
+        assert!(s.contains("threadscan"));
+        assert!(s.contains("1.900"));
+    }
+
+    #[test]
+    fn missing_cells_render_as_dash() {
+        let mut rep = Report::new("x");
+        rep.push(result("hash", "epoch", 1, 1.0));
+        rep.push(result("hash", "leaky", 2, 2.0));
+        let s = rep.render_series();
+        assert!(s.contains('-'), "{s}");
+    }
+
+    #[test]
+    fn json_lines_parse_back() {
+        let mut rep = Report::new("fig4");
+        rep.push(result("skiplist", "epoch", 100, 3.5));
+        let json = rep.to_json_lines();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["scheme"], "epoch");
+        assert_eq!(v["threads"], 100);
+    }
+}

@@ -1,0 +1,98 @@
+//! A live-resizing session registry on the split-ordered hash table,
+//! reclaimed by ThreadScan.
+//!
+//! A connection registry starts tiny and grows by orders of magnitude as
+//! sessions arrive. The split-ordered table resizes **lock-free and in
+//! place** — doubling the bucket count never moves an item, it only
+//! threads new dummy nodes into the underlying list — while readers keep
+//! traversing and ThreadScan keeps reclaiming the sessions that log off
+//! mid-resize.
+//!
+//! ```text
+//! cargo run --release --example resizable_registry
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use threadscan::CollectorConfig;
+use ts_sigscan::SignalPlatform;
+use ts_smr::{Smr, ThreadScanSmr};
+use ts_structures::{ConcurrentSet, SplitOrderedSet};
+
+type Ts = ThreadScanSmr<SignalPlatform>;
+
+const WORKERS: u64 = 3;
+const SESSIONS_PER_WORKER: u64 = 30_000;
+
+fn main() {
+    let scheme = Arc::new(ThreadScanSmr::with_config(
+        SignalPlatform::new().expect("POSIX signals required"),
+        CollectorConfig::default().with_buffer_capacity(1024),
+    ));
+    // Deliberately undersized: two buckets. Every growth step happens live.
+    let registry = Arc::new(SplitOrderedSet::<Ts>::with_buckets(2));
+    let churned = Arc::new(AtomicU64::new(0));
+
+    println!("initial buckets: {}", registry.bucket_count());
+    let t0 = Instant::now();
+
+    std::thread::scope(|s| {
+        for w in 0..WORKERS {
+            let scheme = Arc::clone(&scheme);
+            let registry = Arc::clone(&registry);
+            let churned = Arc::clone(&churned);
+            s.spawn(move || {
+                let h = scheme.register();
+                for i in 0..SESSIONS_PER_WORKER {
+                    let session_id = w * SESSIONS_PER_WORKER + i;
+                    assert!(registry.insert(&h, session_id), "session ids unique");
+                    // A fifth of the sessions are short-lived: they log
+                    // off immediately, retiring their node while other
+                    // workers may be traversing the same bucket chain.
+                    if i % 5 == 0 {
+                        assert!(registry.remove(&h, session_id));
+                        churned.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+
+        // A reader thread validating lookups during growth.
+        let scheme2 = Arc::clone(&scheme);
+        let registry2 = Arc::clone(&registry);
+        s.spawn(move || {
+            let h = scheme2.register();
+            for pass in 0..10u64 {
+                for id in (0..WORKERS * SESSIONS_PER_WORKER).step_by(97) {
+                    std::hint::black_box(registry2.contains(&h, id));
+                }
+                std::hint::black_box(pass);
+            }
+        });
+    });
+
+    // Verify final contents exactly.
+    let h = scheme.register();
+    for w in 0..WORKERS {
+        for i in (1..SESSIONS_PER_WORKER).step_by(977) {
+            let id = w * SESSIONS_PER_WORKER + i;
+            assert_eq!(registry.contains(&h, id), i % 5 != 0, "session {id}");
+        }
+    }
+    drop(h);
+
+    scheme.quiesce();
+    let stats = scheme.stats();
+    let expected_live = WORKERS * SESSIONS_PER_WORKER - churned.load(Ordering::Relaxed);
+    println!("sessions live:   {} (expected {expected_live})", registry.len_estimate());
+    println!("final buckets:   {} (grew from 2)", registry.bucket_count());
+    println!("collect phases:  {}", stats.collects);
+    println!("nodes freed:     {}", stats.freed);
+    println!("outstanding:     {}", scheme.outstanding());
+    println!("elapsed:         {:?}", t0.elapsed());
+    assert_eq!(registry.len_estimate() as u64, expected_live);
+    assert!(registry.bucket_count() > 2);
+    println!("OK: table grew live while ThreadScan reclaimed departing sessions");
+}

@@ -1,0 +1,138 @@
+//! The paper's Figure 1, literally: thread T1 disconnects node B and calls
+//! free(B) while thread T2 holds a private reference to B and reads
+//! through it. ThreadScan must (a) not free B while T2 can still read it,
+//! and (b) free B afterwards.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+use threadscan::{Collector, CollectorConfig, ThreadHandle};
+use ts_sigscan::SignalPlatform;
+
+static B_DROPPED: AtomicUsize = AtomicUsize::new(0);
+
+/// Node "B" from the figure; drop is instrumented.
+struct NodeB {
+    value: u64,
+    _pad: [u64; 8],
+}
+impl Drop for NodeB {
+    fn drop(&mut self) {
+        B_DROPPED.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[inline(never)]
+fn churn(depth: usize) -> usize {
+    let noise = std::hint::black_box([depth; 64]);
+    if depth == 0 {
+        noise[0]
+    } else {
+        churn(depth - 1) + noise[63]
+    }
+}
+
+/// T2's body: grab the reference (step 1 in the figure), announce, wait,
+/// then read through it (step 4: `val = B.value`) and return the value.
+#[inline(never)]
+fn t2_access(shared_b: &std::sync::atomic::AtomicPtr<NodeB>, barrier: &Barrier) -> u64 {
+    // 1. B = A.next — T2 takes its private reference.
+    let b = std::hint::black_box(shared_b.load(Ordering::Acquire));
+    barrier.wait(); // T2 holds the reference
+    barrier.wait(); // T1 has disconnected and called free(B)
+    // 4-5. val = B.value; return val + 2 — the dangerous read.
+    let val = unsafe { (*std::hint::black_box(b)).value };
+    val + 2
+}
+
+#[test]
+fn figure1_disconnect_free_race_is_safe() {
+    let collector = Collector::with_config(
+        SignalPlatform::new().unwrap(),
+        CollectorConfig::default().with_buffer_capacity(8),
+    );
+    // "A.next" — the shared reference leading to B.
+    let shared_b = Arc::new(std::sync::atomic::AtomicPtr::new(std::ptr::null_mut()));
+    let barrier = Arc::new(Barrier::new(2));
+    let t2_result = Arc::new(AtomicUsize::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Publish B from a dying frame so the raw pointer never lives in this
+    // (always-scanned) test frame.
+    #[inline(never)]
+    fn publish_b(shared: &std::sync::atomic::AtomicPtr<NodeB>) {
+        let b = Box::into_raw(Box::new(NodeB {
+            value: 40,
+            _pad: [0; 8],
+        }));
+        shared.store(b, Ordering::Release);
+    }
+    publish_b(&shared_b);
+    std::hint::black_box(churn(64));
+
+    std::thread::scope(|s| {
+        // T2: concurrent reader.
+        {
+            let collector = Arc::clone(&collector);
+            let shared_b = Arc::clone(&shared_b);
+            let barrier = Arc::clone(&barrier);
+            let t2_result = Arc::clone(&t2_result);
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                let _handle = collector.register();
+                let val = t2_access(&shared_b, &barrier);
+                t2_result.store(val as usize, Ordering::SeqCst);
+                std::hint::black_box(churn(64));
+                done.store(true, Ordering::SeqCst);
+                barrier.wait(); // let T1 finish
+            });
+        }
+
+        // T1: the deleter.
+        let handle: ThreadHandle<SignalPlatform> = collector.register();
+        barrier.wait(); // T2 holds its reference
+
+        // 2. A.next = C — disconnect B (here: clear the shared pointer).
+        #[inline(never)]
+        fn disconnect_and_free(
+            shared_b: &std::sync::atomic::AtomicPtr<NodeB>,
+            handle: &ThreadHandle<SignalPlatform>,
+        ) {
+            let b = shared_b.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            // 3. Free(B) — ThreadScan's free, not libc's.
+            unsafe { handle.retire(b) };
+        }
+        disconnect_and_free(&shared_b, &handle);
+        std::hint::black_box(churn(64));
+
+        // Force reclamation *while T2 still holds the reference*.
+        handle.flush();
+        handle.flush();
+        assert_eq!(
+            B_DROPPED.load(Ordering::SeqCst),
+            0,
+            "B freed while T2 still held a private reference!"
+        );
+
+        barrier.wait(); // let T2 perform its read
+        while !done.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        // T2 has read and dropped its reference; B must now be
+        // reclaimable within a bounded number of phases.
+        let mut freed = false;
+        for _ in 0..128 {
+            std::hint::black_box(churn(64));
+            handle.flush();
+            if B_DROPPED.load(Ordering::SeqCst) == 1 {
+                freed = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        barrier.wait();
+        assert!(freed, "B must eventually be reclaimed");
+        assert_eq!(t2_result.load(Ordering::SeqCst), 42, "T2 read valid data");
+        drop(handle);
+    });
+}

@@ -1,0 +1,162 @@
+//! Cross-crate integration: the three evaluation structures churning under
+//! ThreadScan with **real POSIX signals**, with reclamation accounting
+//! checked end-to-end.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use threadscan::CollectorConfig;
+use ts_sigscan::SignalPlatform;
+use ts_smr::{Smr, ThreadScanSmr};
+use ts_structures::{ConcurrentSet, HarrisList, LockFreeHashTable, SkipList};
+
+type Ts = ThreadScanSmr<SignalPlatform>;
+
+fn scheme(buffer: usize) -> Arc<Ts> {
+    Arc::new(ThreadScanSmr::with_config(
+        SignalPlatform::new().unwrap(),
+        CollectorConfig::default().with_buffer_capacity(buffer),
+    ))
+}
+
+/// Generic churn: writers toggle keys, readers traverse, then quiesce and
+/// check the scheme's books balance.
+fn churn_structure<T: ConcurrentSet<Ts> + 'static>(scheme: Arc<Ts>, set: Arc<T>, range: u64) {
+    // Prefill half the range.
+    {
+        let h = scheme.register();
+        for k in 0..range / 2 {
+            set.insert(&h, k * 2);
+        }
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for t in 0..2u64 {
+            let scheme = Arc::clone(&scheme);
+            let set = Arc::clone(&set);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let h = scheme.register();
+                let mut k = t;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = k % range;
+                    if set.remove(&h, key) {
+                        set.insert(&h, key);
+                    }
+                    k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                }
+            });
+        }
+        for _ in 0..2 {
+            let scheme = Arc::clone(&scheme);
+            let set = Arc::clone(&set);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let h = scheme.register();
+                let mut k = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    std::hint::black_box(set.contains(&h, k % range));
+                    k = k.wrapping_add(7);
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(400));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    scheme.quiesce();
+    let st = scheme.stats();
+    assert!(st.retired > 0, "churn must retire nodes");
+    assert!(st.freed > 0, "reclamation must make progress");
+    assert_eq!(
+        st.retired - st.freed,
+        scheme.outstanding(),
+        "books must balance"
+    );
+    // After quiescing with all worker stacks gone, nothing should remain
+    // pinned except what the *test thread's own* stale frames hold.
+    assert!(
+        scheme.outstanding() < 128,
+        "outstanding {} after quiesce — reclamation is not keeping up",
+        scheme.outstanding()
+    );
+}
+
+#[test]
+fn harris_list_churn_reclaims_under_real_signals() {
+    let s = scheme(256);
+    let list = Arc::new(HarrisList::<Ts>::new());
+    churn_structure(Arc::clone(&s), list, 512);
+}
+
+#[test]
+fn hash_table_churn_reclaims_under_real_signals() {
+    let s = scheme(256);
+    let table = Arc::new(LockFreeHashTable::<Ts>::new(64));
+    churn_structure(Arc::clone(&s), table, 4096);
+}
+
+#[test]
+fn skiplist_churn_reclaims_under_real_signals() {
+    let s = scheme(256);
+    let sl = Arc::new(SkipList::<Ts>::new());
+    churn_structure(Arc::clone(&s), sl, 2048);
+}
+
+/// Set semantics under ThreadScan: disjoint per-thread key ranges end in
+/// exactly the expected final state.
+#[test]
+fn threadscan_preserves_set_semantics() {
+    let s = scheme(128);
+    let list = Arc::new(HarrisList::<Ts>::new());
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let s = Arc::clone(&s);
+            let list = Arc::clone(&list);
+            scope.spawn(move || {
+                let h = s.register();
+                let base = t * 10_000;
+                for i in 0..500u64 {
+                    assert!(list.insert(&h, base + i), "insert {base}+{i}");
+                }
+                for i in (0..500u64).step_by(2) {
+                    assert!(list.remove(&h, base + i), "remove {base}+{i}");
+                }
+                for i in 0..500u64 {
+                    assert_eq!(list.contains(&h, base + i), i % 2 == 1);
+                }
+            });
+        }
+    });
+    let keys = list.keys_sequential();
+    assert_eq!(keys.len(), 4 * 250);
+    assert!(keys.windows(2).all(|w| w[0] < w[1]));
+}
+
+/// The collector's Drop must reclaim whatever was still deferred.
+#[test]
+fn collector_drop_reclaims_survivors() {
+    let s = scheme(1 << 20); // huge buffer: nothing triggers during the run
+    let list = Arc::new(HarrisList::<Ts>::new());
+    {
+        let h = s.register();
+        for k in 0..2000u64 {
+            list.insert(&h, k);
+        }
+        for k in 0..2000u64 {
+            assert!(list.remove(&h, k));
+        }
+    }
+    let before = s.stats();
+    assert_eq!(before.freed, 0, "nothing should have been freed yet");
+    drop(list);
+    // Dropping the scheme (and with it the collector) reclaims the
+    // buffered nodes.
+    let list_nodes = before.retired;
+    drop(s);
+    // No way to read stats after drop; the assertion is that the drop ran
+    // without double-free/UAF (asan/valgrind-visible) and the counter
+    // before showed everything buffered.
+    assert_eq!(list_nodes, 2000);
+}

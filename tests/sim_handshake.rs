@@ -1,0 +1,150 @@
+//! Integration: the simulated platform's handshake under real concurrency
+//! — many real threads polling cooperatively, a reclaimer force-scanning
+//! laggards, with full safety accounting. Complements the deterministic
+//! model in `ts-simthread` by adding true parallel interleavings.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use threadscan::{Collector, CollectorConfig};
+use ts_simthread::SimPlatform;
+
+struct Probe {
+    drops: Arc<AtomicUsize>,
+    _pad: [u64; 4],
+}
+impl Drop for Probe {
+    fn drop(&mut self) {
+        self.drops.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn concurrent_polling_threads_reclaim_safely() {
+    let platform = SimPlatform::handshake(16, Duration::from_millis(20));
+    let collector = Collector::with_config(
+        platform.clone(),
+        CollectorConfig::default().with_buffer_capacity(32),
+    );
+    let drops = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 3_000;
+
+    std::thread::scope(|s| {
+        // Poller threads: simulated application threads that periodically
+        // publish/retract roots and poll for scan requests.
+        for _ in 0..THREADS {
+            let platform = platform.clone();
+            let collector = Arc::clone(&collector);
+            let drops = Arc::clone(&drops);
+            s.spawn(move || {
+                let handle = collector.register();
+                // Our record is the most recently registered one on this
+                // platform created by *this* thread; find it by pointer
+                // identity of its shadow via records() — registration
+                // order is racy, so pick the record whose shadow we can
+                // publish to and remember it.
+                let records = platform.records();
+                let my_rec = records.last().cloned();
+                let mut published: Option<(usize, usize)> = None;
+                for i in 0..PER_THREAD {
+                    let node = Box::into_raw(Box::new(Probe {
+                        drops: Arc::clone(&drops),
+                        _pad: [0; 4],
+                    }));
+                    if let Some(rec) = &my_rec {
+                        // Occasionally hold a node via the shadow stack
+                        // and retire it while "held".
+                        if i % 7 == 0 {
+                            if let Some(slot) = rec.shadow().publish(node as usize) {
+                                // Retract the previous one, if any.
+                                if let Some((old_slot, _)) = published.take() {
+                                    rec.shadow().retract(old_slot);
+                                }
+                                published = Some((slot, node as usize));
+                            }
+                        }
+                        platform.poll(rec);
+                    }
+                    // SAFETY: node is unreachable from shared memory; at
+                    // most our own shadow stack roots it.
+                    unsafe { handle.retire(node) };
+                }
+                if let (Some(rec), Some((slot, _))) = (&my_rec, published) {
+                    rec.shadow().retract(slot);
+                }
+                drop(handle);
+            });
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    collector.collect_now();
+    collector.collect_now();
+    let st = collector.stats();
+    assert_eq!(st.retired, THREADS * PER_THREAD);
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        st.freed,
+        "drop instrumentation and collector accounting must agree"
+    );
+    assert_eq!(
+        st.freed,
+        THREADS * PER_THREAD,
+        "all roots retracted ⇒ everything reclaimed"
+    );
+}
+
+#[test]
+fn force_scan_keeps_reclaimer_live_despite_stalled_pollers() {
+    // Threads that never poll: every phase must be completed by
+    // force-scans, and throughput of phases must not be zero.
+    let platform = SimPlatform::handshake(4, Duration::from_millis(1));
+    let collector = Collector::with_config(
+        platform.clone(),
+        CollectorConfig::default().with_buffer_capacity(16),
+    );
+    let drops = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        // A stalled registered thread (never polls).
+        {
+            let platform = platform.clone();
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                use threadscan::Platform as _;
+                let _token = platform.register_current(Arc::new(threadscan::ThreadRoots::new(4)));
+                while !stop.load(Ordering::Relaxed) {
+                    std::hint::spin_loop();
+                }
+            });
+        }
+        // The worker that retires.
+        let collector2 = Arc::clone(&collector);
+        let drops2 = Arc::clone(&drops);
+        let stop2 = Arc::clone(&stop);
+        s.spawn(move || {
+            let handle = collector2.register();
+            for _ in 0..500 {
+                let node = Box::into_raw(Box::new(Probe {
+                    drops: Arc::clone(&drops2),
+                    _pad: [0; 4],
+                }));
+                unsafe { handle.retire(node) };
+            }
+            drop(handle);
+            stop2.store(true, Ordering::Relaxed);
+        });
+    });
+
+    collector.collect_now();
+    assert_eq!(drops.load(Ordering::SeqCst), 500);
+    assert!(
+        platform.force_scans() > 0,
+        "the stalled thread must have been force-scanned"
+    );
+    assert!(collector.stats().collects > 0);
+}
