@@ -8,8 +8,8 @@
 
 /// The size classes, ascending. Each is a multiple of 16.
 pub const CLASSES: [usize; 28] = [
-    16, 32, 48, 64, 80, 96, 112, 128, 160, 192, 224, 256, 320, 384, 448, 512, 640, 768, 896,
-    1024, 1280, 1536, 1792, 2048, 2560, 3072, 3584, 4096,
+    16, 32, 48, 64, 80, 96, 112, 128, 160, 192, 224, 256, 320, 384, 448, 512, 640, 768, 896, 1024,
+    1280, 1536, 1792, 2048, 2560, 3072, 3584, 4096,
 ];
 
 /// Number of size classes.

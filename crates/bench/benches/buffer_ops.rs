@@ -14,23 +14,27 @@ fn bench_push_drain(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_millis(500));
     for &cap in &[1024usize, 4096] {
-        group.bench_with_input(BenchmarkId::new("push_drain_cycle", cap), &cap, |b, &cap| {
-            let buf = LocalBuffer::new(cap);
-            let mut out = Vec::with_capacity(cap);
-            b.iter(|| {
-                for i in 0..cap - 1 {
-                    // SAFETY: single-threaded bench — sole producer.
-                    unsafe {
-                        buf.push(Retired::from_raw_parts(0x1000 + i * 8, 8, noop_drop))
-                            .unwrap()
-                    };
-                }
-                out.clear();
-                // SAFETY: sole consumer.
-                unsafe { buf.drain_into(&mut out) };
-                black_box(out.len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("push_drain_cycle", cap),
+            &cap,
+            |b, &cap| {
+                let buf = LocalBuffer::new(cap);
+                let mut out = Vec::with_capacity(cap);
+                b.iter(|| {
+                    for i in 0..cap - 1 {
+                        // SAFETY: single-threaded bench — sole producer.
+                        unsafe {
+                            buf.push(Retired::from_raw_parts(0x1000 + i * 8, 8, noop_drop))
+                                .unwrap()
+                        };
+                    }
+                    out.clear();
+                    // SAFETY: sole consumer.
+                    unsafe { buf.drain_into(&mut out) };
+                    black_box(out.len())
+                })
+            },
+        );
     }
     group.finish();
 }

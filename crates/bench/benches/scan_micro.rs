@@ -81,17 +81,13 @@ fn bench_session_scan(c: &mut Criterion) {
             let config = CollectorConfig::default().with_match_mode(mode);
             let master = MasterBuffer::new(entries.clone(), &config);
             let stack = synthetic_stack(16384, &[0x10_0000]);
-            group.bench_with_input(
-                BenchmarkId::new(format!("{mode:?}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let session = master.session();
-                        session.scan_words(black_box(&stack));
-                        black_box(session.hits())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{mode:?}"), n), &n, |b, _| {
+                b.iter(|| {
+                    let session = master.session();
+                    session.scan_words(black_box(&stack));
+                    black_box(session.hits())
+                })
+            });
         }
     }
     group.finish();

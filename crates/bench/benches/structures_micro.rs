@@ -5,8 +5,8 @@
 //! writes of epochs, ThreadScan's nothing) without any concurrency.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use ts_smr::{EpochScheme, HazardPointers, Leaky, Smr, ThreadScanSmr};
 use ts_sigscan::SignalPlatform;
+use ts_smr::{EpochScheme, HazardPointers, Leaky, Smr, ThreadScanSmr};
 use ts_structures::{
     ConcurrentSet, HarrisList, LockFreeHashTable, PriorityQueue, SkipList, SplitOrderedSet,
     PQ_REQUIRED_SLOTS, REQUIRED_SLOTS,

@@ -21,10 +21,8 @@ static ALLOC: TsAlloc = TsAlloc;
 fn main() {
     let args = CliArgs::parse();
     let quick = args.get_flag("quick");
-    let duration = Duration::from_secs_f64(args.get_f64(
-        "duration",
-        if quick { 0.25 } else { 1.5 },
-    ));
+    let duration =
+        Duration::from_secs_f64(args.get_f64("duration", if quick { 0.25 } else { 1.5 }));
     let scale = args.get_usize("scale", if quick { 64 } else { 1 });
     let threads_list = args.get_usize_list("threads", &[2, 4]);
     let schemes = [SchemeKind::Leaky, SchemeKind::Epoch, SchemeKind::ThreadScan];
@@ -58,8 +56,15 @@ fn main() {
     println!("\n# allocator counters:");
     println!("#   small allocs     {:>12}", s.small_allocs);
     println!("#   small frees      {:>12}", s.small_frees);
-    println!("#   spans carved     {:>12} ({} MiB)", s.spans, s.span_bytes >> 20);
-    println!("#   depot locks      {:>12}", s.cache_fills + s.cache_flushes);
+    println!(
+        "#   spans carved     {:>12} ({} MiB)",
+        s.spans,
+        s.span_bytes >> 20
+    );
+    println!(
+        "#   depot locks      {:>12}",
+        s.cache_fills + s.cache_flushes
+    );
     println!("#   allocs per lock  {:>12.1}", s.allocs_per_lock());
 
     if let Some(path) = args.get("json") {

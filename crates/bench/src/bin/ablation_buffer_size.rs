@@ -16,14 +16,15 @@ use ts_workload::{run_combo, Report, SchemeKind, StructureKind, WorkloadParams};
 fn main() {
     let args = CliArgs::parse();
     let quick = args.get_flag("quick");
-    let duration = Duration::from_secs_f64(args.get_f64(
-        "duration",
-        if quick { 0.25 } else { 2.0 },
-    ));
+    let duration =
+        Duration::from_secs_f64(args.get_f64("duration", if quick { 0.25 } else { 2.0 }));
     let scale = args.get_usize("scale", if quick { 64 } else { 1 });
     let threads = args.get_usize(
         "threads",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2) * 2,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            * 2,
     );
     let sizes = args.get_usize_list(
         "sizes",
@@ -34,7 +35,10 @@ fn main() {
         },
     );
 
-    println!("# Ablation A: delete-buffer size sweep ({})", machine_info());
+    println!(
+        "# Ablation A: delete-buffer size sweep ({})",
+        machine_info()
+    );
     println!("# structure=hash threads={threads} duration={duration:?} scale=1/{scale}");
     println!(
         "{:>8} {:>12} {:>10} {:>14} {:>16}",

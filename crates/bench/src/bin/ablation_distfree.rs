@@ -16,13 +16,13 @@ use ts_workload::{run_combo, Report, SchemeKind, StructureKind, WorkloadParams};
 fn main() {
     let args = CliArgs::parse();
     let quick = args.get_flag("quick");
-    let duration = Duration::from_secs_f64(args.get_f64(
-        "duration",
-        if quick { 0.25 } else { 2.0 },
-    ));
+    let duration =
+        Duration::from_secs_f64(args.get_f64("duration", if quick { 0.25 } else { 2.0 }));
     let scale = args.get_usize("scale", if quick { 64 } else { 1 });
     let thread_counts = args.get_usize_list("threads", &{
-        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
         vec![hw, hw * 2, (hw as f64 * 2.5) as usize]
     });
 

@@ -13,8 +13,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ts_bench::cli::{machine_info, CliArgs};
-use ts_smr::{EpochScheme, Smr, ThreadScanSmr};
 use ts_sigscan::SignalPlatform;
+use ts_smr::{EpochScheme, Smr, ThreadScanSmr};
 use ts_structures::{ConcurrentSet, HarrisList};
 
 fn sample_run<S: Smr + 'static>(
@@ -64,14 +64,14 @@ fn sample_run<S: Smr + 'static>(
 fn main() {
     let args = CliArgs::parse();
     let quick = args.get_flag("quick");
-    let duration = Duration::from_secs_f64(args.get_f64(
-        "duration",
-        if quick { 0.5 } else { 3.0 },
-    ));
+    let duration = Duration::from_secs_f64(args.get_f64("duration", if quick { 0.5 } else { 3.0 }));
     let samples = args.get_usize("samples", 8);
     let threads = args.get_usize("threads", 4);
 
-    println!("# Ablation D: outstanding garbage over time ({})", machine_info());
+    println!(
+        "# Ablation D: outstanding garbage over time ({})",
+        machine_info()
+    );
     println!("# list workload, {threads} threads, {samples} samples over {duration:?}");
     println!("# columns = retired-but-unfreed node counts at each sample instant");
 
@@ -84,11 +84,7 @@ fn main() {
     );
     sample_run(
         "slow-epoch",
-        Arc::new(EpochScheme::slow(
-            256,
-            Duration::from_millis(40),
-            2048,
-        )),
+        Arc::new(EpochScheme::slow(256, Duration::from_millis(40), 2048)),
         threads,
         duration,
         samples,

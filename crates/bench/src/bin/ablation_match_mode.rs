@@ -17,10 +17,8 @@ use ts_workload::{run_combo, Report, SchemeKind, StructureKind, WorkloadParams};
 fn main() {
     let args = CliArgs::parse();
     let quick = args.get_flag("quick");
-    let duration = Duration::from_secs_f64(args.get_f64(
-        "duration",
-        if quick { 0.25 } else { 2.0 },
-    ));
+    let duration =
+        Duration::from_secs_f64(args.get_f64("duration", if quick { 0.25 } else { 2.0 }));
     let scale = args.get_usize("scale", if quick { 64 } else { 1 });
     let threads_list = args.get_usize_list("threads", &[2, 4]);
 

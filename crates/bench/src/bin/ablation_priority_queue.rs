@@ -15,15 +15,10 @@ use ts_workload::{run_pq_combo, PqParams, Report, SchemeKind};
 fn main() {
     let args = CliArgs::parse();
     let quick = args.get_flag("quick");
-    let duration = Duration::from_secs_f64(args.get_f64(
-        "duration",
-        if quick { 0.25 } else { 1.5 },
-    ));
+    let duration =
+        Duration::from_secs_f64(args.get_f64("duration", if quick { 0.25 } else { 1.5 }));
     let prefill = args.get_usize("prefill", if quick { 1_000 } else { 20_000 });
-    let threads_list = args.get_usize_list(
-        "threads",
-        &[1, 2, 4, 8],
-    );
+    let threads_list = args.get_usize_list("threads", &[1, 2, 4, 8]);
     let schemes = [
         SchemeKind::Leaky,
         SchemeKind::Hazard,

@@ -15,17 +15,20 @@ use ts_workload::{run_combo, Report, SchemeKind, StructureKind, WorkloadParams};
 fn main() {
     let args = CliArgs::parse();
     let quick = args.get_flag("quick");
-    let duration = Duration::from_secs_f64(args.get_f64(
-        "duration",
-        if quick { 0.25 } else { 2.0 },
-    ));
+    let duration =
+        Duration::from_secs_f64(args.get_f64("duration", if quick { 0.25 } else { 2.0 }));
     let scale = args.get_usize("scale", if quick { 64 } else { 1 });
     let threads = args.get_usize_list("threads", &{
-        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         vec![1, hw.max(2), hw * 2]
     });
 
-    println!("# Ablation E: StackTrack comparator on the skip list ({})", machine_info());
+    println!(
+        "# Ablation E: StackTrack comparator on the skip list ({})",
+        machine_info()
+    );
     println!("# duration={duration:?} scale=1/{scale} threads={threads:?}");
 
     let mut report = Report::new("ablation-stacktrack");

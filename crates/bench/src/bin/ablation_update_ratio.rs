@@ -14,14 +14,15 @@ use ts_workload::{run_combo, Report, SchemeKind, StructureKind, WorkloadParams};
 fn main() {
     let args = CliArgs::parse();
     let quick = args.get_flag("quick");
-    let duration = Duration::from_secs_f64(args.get_f64(
-        "duration",
-        if quick { 0.25 } else { 1.5 },
-    ));
+    let duration =
+        Duration::from_secs_f64(args.get_f64("duration", if quick { 0.25 } else { 1.5 }));
     let scale = args.get_usize("scale", if quick { 64 } else { 1 });
     let threads = args.get_usize(
         "threads",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2) * 2,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            * 2,
     );
     let ratios = args.get_usize_list("ratios", &[0, 10, 20, 50, 100]);
 

@@ -22,16 +22,11 @@ use ts_workload::{run_combo, Report, SchemeKind, StructureKind, WorkloadParams};
 fn main() {
     let args = CliArgs::parse();
     let quick = args.get_flag("quick");
-    let duration = Duration::from_secs_f64(args.get_f64(
-        "duration",
-        if quick { 0.25 } else { 2.0 },
-    ));
+    let duration =
+        Duration::from_secs_f64(args.get_f64("duration", if quick { 0.25 } else { 2.0 }));
     let repeats = args.get_usize("repeats", if quick { 1 } else { 3 });
     let scale = args.get_usize("scale", if quick { 64 } else { 1 });
-    let threads = args.get_usize_list(
-        "threads",
-        &if quick { vec![1, 2] } else { thread_ladder() },
-    );
+    let threads = args.get_usize_list("threads", &if quick { vec![1, 2] } else { thread_ladder() });
     let structures: Vec<StructureKind> = match args.get("structures") {
         Some(list) => list
             .split(',')
@@ -46,9 +41,7 @@ fn main() {
     };
 
     println!("# Figure 3: throughput vs threads ({})", machine_info());
-    println!(
-        "# duration={duration:?} repeats={repeats} scale=1/{scale} threads={threads:?}"
-    );
+    println!("# duration={duration:?} repeats={repeats} scale=1/{scale} threads={threads:?}");
 
     let mut report = Report::new("fig3");
     for &structure in &structures {

@@ -20,10 +20,8 @@ use ts_workload::{run_combo, Report, SchemeKind, StructureKind, WorkloadParams};
 fn main() {
     let args = CliArgs::parse();
     let quick = args.get_flag("quick");
-    let duration = Duration::from_secs_f64(args.get_f64(
-        "duration",
-        if quick { 0.25 } else { 2.0 },
-    ));
+    let duration =
+        Duration::from_secs_f64(args.get_f64("duration", if quick { 0.25 } else { 2.0 }));
     let repeats = args.get_usize("repeats", if quick { 1 } else { 2 });
     let scale = args.get_usize("scale", if quick { 64 } else { 1 });
     let threads = args.get_usize_list(
@@ -32,9 +30,7 @@ fn main() {
     );
 
     println!("# Figure 4: oversubscription ({})", machine_info());
-    println!(
-        "# duration={duration:?} repeats={repeats} scale=1/{scale} threads={threads:?}"
-    );
+    println!("# duration={duration:?} repeats={repeats} scale=1/{scale} threads={threads:?}");
 
     let mut report = Report::new("fig4");
     for structure in StructureKind::ALL {

@@ -414,8 +414,10 @@ mod tests {
     #[test]
     fn buffer_fill_triggers_collect_and_frees_everything() {
         let counter = Arc::new(AtomicUsize::new(0));
-        let collector =
-            Collector::with_config(NullPlatform, CollectorConfig::default().with_buffer_capacity(8));
+        let collector = Collector::with_config(
+            NullPlatform,
+            CollectorConfig::default().with_buffer_capacity(8),
+        );
         let handle = collector.register();
         for _ in 0..8 {
             unsafe { handle.retire(node(&counter)) };
@@ -435,10 +437,8 @@ mod tests {
         let platform = PinPlatform::default();
         let pinned = node(&counter);
         platform.rooted.lock().push(pinned as usize);
-        let collector = Collector::with_config(
-            platform,
-            CollectorConfig::default().with_buffer_capacity(4),
-        );
+        let collector =
+            Collector::with_config(platform, CollectorConfig::default().with_buffer_capacity(4));
         let handle = collector.register();
 
         unsafe { handle.retire(pinned) };
@@ -464,10 +464,8 @@ mod tests {
         let pinned = node(&counter);
         // Point 8 bytes into the allocation.
         platform.rooted.lock().push(pinned as usize + 8);
-        let collector = Collector::with_config(
-            platform,
-            CollectorConfig::default().with_buffer_capacity(2),
-        );
+        let collector =
+            Collector::with_config(platform, CollectorConfig::default().with_buffer_capacity(2));
         let handle = collector.register();
         unsafe { handle.retire(pinned) };
         unsafe { handle.retire(node(&counter)) };
@@ -564,10 +562,8 @@ mod tests {
     fn stats_track_scan_volume() {
         let platform = PinPlatform::default();
         platform.rooted.lock().extend([1usize, 2, 3]);
-        let collector = Collector::with_config(
-            platform,
-            CollectorConfig::default().with_buffer_capacity(2),
-        );
+        let collector =
+            Collector::with_config(platform, CollectorConfig::default().with_buffer_capacity(2));
         let handle = collector.register();
         let counter = Arc::new(AtomicUsize::new(0));
         unsafe { handle.retire(node(&counter)) };

@@ -23,7 +23,10 @@ impl fmt::Display for HeapBlockError {
             Self::AlreadyRegistered => write!(f, "heap block already registered"),
             Self::NotRegistered => write!(f, "heap block was not registered"),
             Self::TooManyBlocks(cap) => {
-                write!(f, "all {cap} heap-block slots in use (see CollectorConfig::max_heap_blocks)")
+                write!(
+                    f,
+                    "all {cap} heap-block slots in use (see CollectorConfig::max_heap_blocks)"
+                )
             }
         }
     }

@@ -131,9 +131,7 @@ mod tests {
         let mut block = block;
         block[7] = target + 16; // a private reference stored on the heap
 
-        roots
-            .add_heap_block(block.as_ptr().cast(), 16 * 8)
-            .unwrap();
+        roots.add_heap_block(block.as_ptr().cast(), 16 * 8).unwrap();
         assert_eq!(roots.block_count(), 1);
 
         let mb = master_with(target, 64);

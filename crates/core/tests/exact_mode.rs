@@ -116,10 +116,8 @@ fn survivors_are_rescanned_every_phase_until_released() {
     let pinned = probe(&drops);
     platform.words.lock().push(pinned as usize);
 
-    let collector = Collector::with_config(
-        platform,
-        CollectorConfig::default().with_buffer_capacity(4),
-    );
+    let collector =
+        Collector::with_config(platform, CollectorConfig::default().with_buffer_capacity(4));
     let handle = collector.register();
     unsafe { handle.retire(pinned) };
     for round in 0..5 {

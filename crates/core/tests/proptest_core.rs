@@ -18,6 +18,10 @@ enum BufOp {
 }
 
 proptest! {
+    // Cap the case count so `cargo test -q` stays fast; PROPTEST_CASES
+    // can raise it for soak runs.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
     /// The SPSC ring behaves exactly like a bounded FIFO queue.
     #[test]
     fn local_buffer_is_a_bounded_fifo(

@@ -4,8 +4,8 @@
 use std::collections::HashSet;
 
 use proptest::prelude::*;
-use threadscan::retired::{noop_drop, Retired};
 use threadscan::master::MasterBuffer;
+use threadscan::retired::{noop_drop, Retired};
 use threadscan::{Collector, CollectorConfig, HeapBlockError, NullPlatform, ThreadRoots};
 
 /// A master buffer over one synthetic node, for driving sessions.
@@ -22,6 +22,10 @@ enum RootOp {
 }
 
 proptest! {
+    // Cap the case count so `cargo test -q` stays fast; PROPTEST_CASES
+    // can raise it for soak runs.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
     /// The root registry behaves like a capacity-bounded set keyed by
     /// start address, with exactly the documented error cases.
     #[test]

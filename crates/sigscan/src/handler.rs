@@ -101,7 +101,10 @@ pub(crate) fn install(signo: libc::c_int) -> std::io::Result<()> {
 /// thread has acknowledged.
 pub(crate) unsafe fn begin_round(session: &ScanSession<'_>) -> usize {
     let round = CURRENT_ROUND.fetch_add(1, Ordering::Relaxed) + 1;
-    ACTIVE_SESSION.store(session as *const ScanSession<'_> as *mut (), Ordering::Release);
+    ACTIVE_SESSION.store(
+        session as *const ScanSession<'_> as *mut (),
+        Ordering::Release,
+    );
     round
 }
 

@@ -152,8 +152,7 @@ unsafe impl Platform for SignalPlatform {
         // ourselves would scan the collect machinery's own dead frames,
         // which hold copies of every aggregated node address.
         let me = unsafe { libc::pthread_self() };
-        let mut targets: Vec<libc::pthread_t> =
-            snapshot.iter().map(|r| r.pthread).collect();
+        let mut targets: Vec<libc::pthread_t> = snapshot.iter().map(|r| r.pthread).collect();
         targets.sort_unstable();
         targets.dedup();
         let mut expected = 0usize;
@@ -174,7 +173,9 @@ unsafe impl Platform for SignalPlatform {
                 );
             }
         }
-        self.inner.signals_sent.fetch_add(expected, Ordering::Relaxed);
+        self.inner
+            .signals_sent
+            .fetch_add(expected, Ordering::Relaxed);
 
         // The reclaimer's own scan: stack above the application boundary
         // plus the callee-saved registers captured there (Algorithm 1
@@ -324,9 +325,7 @@ mod tests {
         /// Allocate and immediately retire in a frame that dies on return,
         /// so the outer frame never holds the pointer.
         #[inline(never)]
-        fn retire_unheld(
-            handle: &threadscan::ThreadHandle<SignalPlatform>,
-        ) {
+        fn retire_unheld(handle: &threadscan::ThreadHandle<SignalPlatform>) {
             let p = Box::into_raw(Box::new(Node([3; 16])));
             unsafe { handle.retire(p) };
         }

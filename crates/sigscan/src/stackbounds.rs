@@ -118,7 +118,9 @@ mod tests {
             .join()
             .unwrap()
             .unwrap();
-        assert!(here.hi <= there.lo || there.hi <= here.lo,
-            "stacks must not overlap: {here:?} vs {there:?}");
+        assert!(
+            here.hi <= there.lo || there.hi <= here.lo,
+            "stacks must not overlap: {here:?} vs {there:?}"
+        );
     }
 }

@@ -84,10 +84,8 @@ fn custom_realtime_signal_works() {
     let signo = libc::SIGRTMIN() + 3;
     let platform = SignalPlatform::with_signal(signo).unwrap();
     assert_eq!(platform.signal(), signo);
-    let collector = Collector::with_config(
-        platform,
-        CollectorConfig::default().with_buffer_capacity(8),
-    );
+    let collector =
+        Collector::with_config(platform, CollectorConfig::default().with_buffer_capacity(8));
     let drops = Arc::new(AtomicUsize::new(0));
 
     std::thread::scope(|s| {

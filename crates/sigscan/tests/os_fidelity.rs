@@ -166,7 +166,9 @@ fn pipe_read_is_restarted_transparently() {
 /// cores, all retiring; every collect completes and memory is reclaimed.
 #[test]
 fn oversubscribed_collects_complete() {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let threads = (hw * 8).max(8);
     let collector = collector(32);
     let start = Arc::new(Barrier::new(threads));

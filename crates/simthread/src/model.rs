@@ -196,13 +196,10 @@ pub fn run_model(config: &ModelConfig) -> ModelReport {
                 let published = addr + (rng.gen_range(0..6usize)) * 8;
                 let use_heap = config.heap_block_cells > 0 && rng.gen_bool(0.5);
                 let placed = if use_heap {
-                    heap_blocks[t]
-                        .iter()
-                        .position(|&c| c == 0)
-                        .map(|cell| {
-                            heap_blocks[t][cell] = published;
-                            RootKind::Cell(cell)
-                        })
+                    heap_blocks[t].iter().position(|&c| c == 0).map(|cell| {
+                        heap_blocks[t][cell] = published;
+                        RootKind::Cell(cell)
+                    })
                 } else {
                     shadows[t].publish(published).map(RootKind::Slot)
                 };
@@ -285,7 +282,8 @@ pub fn run_model(config: &ModelConfig) -> ModelReport {
 
     let freed = census.freed.load(Ordering::SeqCst);
     assert_eq!(
-        freed, allocated,
+        freed,
+        allocated,
         "LIVENESS VIOLATION: {} of {} nodes never freed",
         allocated - freed,
         allocated

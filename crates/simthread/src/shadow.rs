@@ -86,8 +86,8 @@ impl ShadowStack {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use threadscan::{CollectorConfig, Retired};
     use threadscan::master::MasterBuffer;
+    use threadscan::{CollectorConfig, Retired};
 
     fn master(addr: usize, size: usize) -> MasterBuffer {
         MasterBuffer::new(

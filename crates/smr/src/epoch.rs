@@ -86,10 +86,7 @@ impl EpochScheme {
     /// `delay` every `period_ops` operations *while inside an operation*,
     /// pinning its announced epoch and stalling advancement.
     pub fn slow(advance_threshold: usize, delay: Duration, period_ops: usize) -> Self {
-        Self::build(
-            advance_threshold,
-            Some(SlowConfig { delay, period_ops }),
-        )
+        Self::build(advance_threshold, Some(SlowConfig { delay, period_ops }))
     }
 
     fn build(advance_threshold: usize, slow: Option<SlowConfig>) -> Self {

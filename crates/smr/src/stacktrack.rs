@@ -161,9 +161,7 @@ fn scan_and_free(inner: &StInner, retired: &mut Vec<RetiredRec>) {
     let mut protected: Vec<usize> = Vec::new();
     {
         let mut threads = inner.threads.lock();
-        threads.retain(|r| {
-            r.live.load(Ordering::Acquire) || Arc::strong_count(r) > 1
-        });
+        threads.retain(|r| r.live.load(Ordering::Acquire) || Arc::strong_count(r) > 1);
         for rec in threads.iter() {
             for w in rec.ring.iter() {
                 let v = w.load(Ordering::Acquire);

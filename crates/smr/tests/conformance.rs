@@ -76,7 +76,7 @@ fn protected_reference_is_never_freed_under_reader<S: Smr>(scheme: &S) {
             assert!(!p.is_null());
             checkpoints.wait(); // (0) protected
             checkpoints.wait(); // (1) writer retired + churned
-            // SAFETY: the scheme contract keeps `p` alive inside this op.
+                                // SAFETY: the scheme contract keeps `p` alive inside this op.
             let v = unsafe { (*p).value };
             assert_eq!(v, 42, "protected node was freed under the reader");
             h.end_op();
@@ -85,7 +85,7 @@ fn protected_reference_is_never_freed_under_reader<S: Smr>(scheme: &S) {
 
         let h = scheme.register();
         checkpoints.wait(); // (0)
-        // Unlink and retire the node the reader protects.
+                            // Unlink and retire the node the reader protects.
         let victim = shared.swap(std::ptr::null_mut(), Ordering::AcqRel);
         // SAFETY: unlinked above; single retire.
         unsafe { retire_box(&h, victim.cast::<Node>()) };

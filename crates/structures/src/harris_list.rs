@@ -79,7 +79,7 @@ impl<S: Smr> HarrisList<S> {
             // Slots: prev's node (none yet), curr, next — rotate as we walk.
             let mut curr_slot = SLOT_A;
             let mut prev_slot = SLOT_B; // unused until we advance once
-            // SAFETY: `prev` points at self.head or a protected node's field.
+                                        // SAFETY: `prev` points at self.head or a protected node's field.
             let mut curr = h.load_protected(curr_slot, unsafe { &*prev });
             loop {
                 let curr_node_ptr = untagged(curr) as *mut Node;
@@ -261,9 +261,7 @@ impl<S: Smr> ConcurrentSet<S> for HarrisList<S> {
                     .is_ok()
                 {
                     // SAFETY: we performed the unlink; single retire.
-                    unsafe {
-                        h.retire(curr as usize, core::mem::size_of::<Node>(), drop_node)
-                    };
+                    unsafe { h.retire(curr as usize, core::mem::size_of::<Node>(), drop_node) };
                 } else {
                     let _ = self.search(h, key); // helper unlinks + retires
                 }
@@ -352,7 +350,11 @@ mod tests {
 
     semantics_tests!(leaky_semantics, Leaky, Leaky::new());
     semantics_tests!(epoch_semantics, EpochScheme, EpochScheme::with_threshold(4));
-    semantics_tests!(hazard_semantics, HazardPointers, HazardPointers::with_params(4, 4));
+    semantics_tests!(
+        hazard_semantics,
+        HazardPointers,
+        HazardPointers::with_params(4, 4)
+    );
 
     #[test]
     fn node_size_matches_paper_padding() {

@@ -231,7 +231,8 @@ impl<S: Smr> ConcurrentSet<S> for LazyList<S> {
             self.lock_pred(pred);
             if self.validate(pred, curr) {
                 let node = LazyNode::alloc(key, curr as *mut u8);
-                self.pred_field(pred).store(node as *mut u8, Ordering::Release);
+                self.pred_field(pred)
+                    .store(node as *mut u8, Ordering::Release);
                 self.unlock_pred(pred);
                 break true;
             }
@@ -266,7 +267,11 @@ impl<S: Smr> ConcurrentSet<S> for LazyList<S> {
                 self.unlock_pred(pred);
                 // SAFETY: we unlinked it under both locks: unique retire.
                 unsafe {
-                    h.retire(curr as usize, core::mem::size_of::<LazyNode>(), drop_lazy_node)
+                    h.retire(
+                        curr as usize,
+                        core::mem::size_of::<LazyNode>(),
+                        drop_lazy_node,
+                    )
                 };
                 break true;
             }

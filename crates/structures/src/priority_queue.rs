@@ -262,8 +262,8 @@ impl<S: Smr> PriorityQueue<S> {
             // SAFETY: locked above. The sentinel is never marked.
             let pred_node = unsafe { &*pred };
             let pred_ok = !pred_node.marked.load(Ordering::Acquire);
-            let link_ok = pred_node.next[level].load(Ordering::Acquire) as *mut PqNode
-                == expect_succ(level);
+            let link_ok =
+                pred_node.next[level].load(Ordering::Acquire) as *mut PqNode == expect_succ(level);
             valid = pred_ok && link_ok;
             if !valid {
                 break;
@@ -343,8 +343,7 @@ impl<S: Smr> PriorityQueue<S> {
             let mut curr_slot = 2 * PQ_MAX_HEIGHT + 1;
             let mut pred: *mut PqNode = self.sentinel();
             // SAFETY: the sentinel is immortal.
-            let mut curr =
-                h.load_protected(curr_slot, unsafe { &(*pred).next[0] }) as *mut PqNode;
+            let mut curr = h.load_protected(curr_slot, unsafe { &(*pred).next[0] }) as *mut PqNode;
             loop {
                 if curr.is_null() {
                     break 'retry None;
@@ -392,8 +391,7 @@ impl<S: Smr> PriorityQueue<S> {
             let mut curr_slot = 2 * PQ_MAX_HEIGHT + 1;
             let mut pred: *mut PqNode = self.sentinel();
             // SAFETY: the sentinel is immortal.
-            let mut curr =
-                h.load_protected(curr_slot, unsafe { &(*pred).next[0] }) as *mut PqNode;
+            let mut curr = h.load_protected(curr_slot, unsafe { &(*pred).next[0] }) as *mut PqNode;
             loop {
                 if curr.is_null() {
                     break 'retry None;
@@ -452,9 +450,7 @@ impl<S: Smr> PriorityQueue<S> {
                 debug_assert!(
                     // SAFETY: next chain is frozen while we hold the lock.
                     succ.is_null()
-                        || !unsafe {
-                            (*(succ as *mut PqNode)).unlinked.load(Ordering::Acquire)
-                        },
+                        || !unsafe { (*(succ as *mut PqNode)).unlinked.load(Ordering::Acquire) },
                     "unlink splicing a fully-unlinked succ"
                 );
                 // SAFETY: preds locked + validated.

@@ -590,8 +590,7 @@ mod tests {
         let scheme = Arc::new(EpochScheme::with_threshold(16));
         let sl = Arc::new(SkipList::<EpochScheme>::new());
         use std::sync::atomic::AtomicI64;
-        let balance: Arc<[AtomicI64; 8]> =
-            Arc::new([(); 8].map(|_| AtomicI64::new(0)));
+        let balance: Arc<[AtomicI64; 8]> = Arc::new([(); 8].map(|_| AtomicI64::new(0)));
         std::thread::scope(|s| {
             for t in 0..8usize {
                 let scheme = Arc::clone(&scheme);

@@ -136,9 +136,7 @@ impl<S: Smr> SplitOrderedSet<S> {
     /// An empty set starting at `initial_buckets` (rounded up to a power
     /// of two, clamped to the directory capacity).
     pub fn with_buckets(initial_buckets: usize) -> Self {
-        let size = initial_buckets
-            .next_power_of_two()
-            .clamp(2, MAX_BUCKETS);
+        let size = initial_buckets.next_power_of_two().clamp(2, MAX_BUCKETS);
         let head = Box::into_raw(SoNode::new(so_dummy_key(0), 0, std::ptr::null_mut()));
         let set = Self {
             segments: [(); MAX_SEGMENTS].map(|_| AtomicPtr::new(std::ptr::null_mut())),
@@ -338,12 +336,9 @@ impl<S: Smr> SplitOrderedSet<S> {
         let size = self.size.load(Ordering::Acquire);
         if size < MAX_BUCKETS && self.count.load(Ordering::Acquire) > size * LOAD_FACTOR {
             // One winner doubles; losers see the new size on their next op.
-            let _ = self.size.compare_exchange(
-                size,
-                size * 2,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            );
+            let _ = self
+                .size
+                .compare_exchange(size, size * 2, Ordering::AcqRel, Ordering::Acquire);
         }
     }
 
@@ -527,9 +522,7 @@ impl<S: Smr> Drop for SplitOrderedSet<S> {
                 };
                 // SAFETY: allocated with exactly this length above.
                 unsafe {
-                    drop(Box::from_raw(std::slice::from_raw_parts_mut(
-                        base, seg_len,
-                    )));
+                    drop(Box::from_raw(std::slice::from_raw_parts_mut(base, seg_len)));
                 }
             }
         }

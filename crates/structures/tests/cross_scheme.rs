@@ -58,7 +58,10 @@ fn all_structures_under_every_scheme_agree() {
     }
     run_all!(Leaky::new(), Leaky);
     run_all!(EpochScheme::with_threshold(8), EpochScheme);
-    run_all!(HazardPointers::with_params(REQUIRED_SLOTS, 16), HazardPointers);
+    run_all!(
+        HazardPointers::with_params(REQUIRED_SLOTS, 16),
+        HazardPointers
+    );
     run_all!(StackTrackSim::with_params(64, 8), StackTrackSim);
 }
 

@@ -11,7 +11,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 /// How operation keys are drawn from `[0, key_range)`.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum KeyDist {
     /// Uniform over the range (the paper's methodology).
     Uniform,
@@ -140,11 +140,7 @@ mod tests {
             counts[200]
         );
         // At theta ≈ 0.99 the hottest rank takes a noticeable share.
-        assert!(
-            counts[0] > 200_000 / 50,
-            "rank 0 too cold: {}",
-            counts[0]
-        );
+        assert!(counts[0] > 200_000 / 50, "rank 0 too cold: {}", counts[0]);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod dist;
+pub mod json;
 pub mod mix;
 pub mod params;
 pub mod pq;

@@ -5,7 +5,7 @@ use std::time::Duration;
 use crate::dist::KeyDist;
 
 /// Which evaluation data structure to drive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StructureKind {
     /// Harris lock-free linked list (Figure 3 left).
     List,
@@ -26,8 +26,13 @@ impl StructureKind {
     pub const ALL: [StructureKind; 3] = [Self::List, Self::Hash, Self::Skip];
 
     /// The figure structures plus the beyond-figure ablation structures.
-    pub const EXTENDED: [StructureKind; 5] =
-        [Self::List, Self::Hash, Self::Skip, Self::Lazy, Self::SplitOrdered];
+    pub const EXTENDED: [StructureKind; 5] = [
+        Self::List,
+        Self::Hash,
+        Self::Skip,
+        Self::Lazy,
+        Self::SplitOrdered,
+    ];
 
     /// Harness label.
     pub fn label(self) -> &'static str {
@@ -42,7 +47,7 @@ impl StructureKind {
 }
 
 /// Which reclamation scheme to run under.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchemeKind {
     /// No reclamation (leaks) — the performance ceiling.
     Leaky,
@@ -97,7 +102,7 @@ impl SchemeKind {
 }
 
 /// One experiment cell: structure × scheme × thread count × workload shape.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadParams {
     /// Data structure under test.
     pub structure: StructureKind,
@@ -227,7 +232,10 @@ mod tests {
     #[test]
     fn paper_presets_match_methodology() {
         let l = WorkloadParams::fig3_list(8);
-        assert_eq!((l.initial_size, l.key_range, l.update_pct), (1024, 2048, 20));
+        assert_eq!(
+            (l.initial_size, l.key_range, l.update_pct),
+            (1024, 2048, 20)
+        );
         let h = WorkloadParams::fig3_hash(8);
         assert_eq!((h.initial_size, h.key_range), (131_072, 262_144));
         let s = WorkloadParams::fig3_skip(8);

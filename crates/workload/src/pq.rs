@@ -89,11 +89,7 @@ pub fn run_pq_combo(scheme: SchemeKind, params: &PqParams) -> RunResult {
             finish(scheme, params, ops, secs, Some(s.outstanding()), None)
         }
         SchemeKind::SlowEpoch => {
-            let s = Arc::new(EpochScheme::slow(
-                1024,
-                Duration::from_millis(40),
-                4096,
-            ));
+            let s = Arc::new(EpochScheme::slow(1024, Duration::from_millis(40), 4096));
             let (ops, secs) = drive_pq(&s, params);
             s.quiesce();
             finish(scheme, params, ops, secs, Some(s.outstanding()), None)

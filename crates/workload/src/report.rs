@@ -83,7 +83,7 @@ impl Report {
     pub fn to_json_lines(&self) -> String {
         self.results
             .iter()
-            .map(|r| serde_json::to_string(r).expect("RunResult serializes"))
+            .map(RunResult::to_json)
             .collect::<Vec<_>>()
             .join("\n")
     }
@@ -142,7 +142,7 @@ mod tests {
         let mut rep = Report::new("fig4");
         rep.push(result("skiplist", "epoch", 100, 3.5));
         let json = rep.to_json_lines();
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let v: crate::json::Value = crate::json::parse(&json).unwrap();
         assert_eq!(v["scheme"], "epoch");
         assert_eq!(v["threads"], 100);
     }

@@ -9,8 +9,8 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
-use ts_smr::{EpochScheme, HazardPointers, Leaky, Smr, StackTrackSim, ThreadScanSmr};
 use ts_sigscan::SignalPlatform;
+use ts_smr::{EpochScheme, HazardPointers, Leaky, Smr, StackTrackSim, ThreadScanSmr};
 use ts_structures::{
     ConcurrentSet, HarrisList, LazyList, LockFreeHashTable, SkipList, SplitOrderedSet,
     REQUIRED_SLOTS,
@@ -20,7 +20,7 @@ use crate::mix::{prefill_keys, Op, OpMix};
 use crate::params::{SchemeKind, StructureKind, WorkloadParams};
 
 /// ThreadScan-specific counters attached to a run.
-#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ThreadScanExtras {
     /// Reclamation phases during the run.
     pub collects: usize,
@@ -39,7 +39,7 @@ pub struct ThreadScanExtras {
 }
 
 /// One measured cell.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Reclamation scheme label.
     pub scheme: String,
@@ -60,6 +60,45 @@ pub struct RunResult {
     pub leaked: Option<usize>,
     /// ThreadScan internals (ThreadScan only).
     pub threadscan: Option<ThreadScanExtras>,
+}
+
+impl ThreadScanExtras {
+    /// Renders as one JSON object (see [`crate::json`]).
+    pub fn to_json(&self) -> String {
+        crate::json::ObjectBuilder::new()
+            .num("collects", self.collects as f64)
+            .num("words_scanned", self.words_scanned as f64)
+            .num("freed", self.freed as f64)
+            .num("survivors", self.survivors as f64)
+            .num("threads_scanned", self.threads_scanned as f64)
+            .num("mean_collect_us", self.mean_collect_us)
+            .num("max_collect_us", self.max_collect_us)
+            .build()
+    }
+}
+
+impl RunResult {
+    /// Renders as one JSON object line (see [`crate::json`]).
+    pub fn to_json(&self) -> String {
+        let ts = match &self.threadscan {
+            Some(extras) => extras.to_json(),
+            None => "null".to_string(),
+        };
+        crate::json::ObjectBuilder::new()
+            .str("scheme", &self.scheme)
+            .str("structure", &self.structure)
+            .num("threads", self.threads as f64)
+            .num("duration_s", self.duration_s)
+            .num("total_ops", self.total_ops as f64)
+            .num("ops_per_sec", self.ops_per_sec)
+            .opt_num(
+                "outstanding_after",
+                self.outstanding_after.map(|v| v as f64),
+            )
+            .opt_num("leaked", self.leaked.map(|v| v as f64))
+            .raw("threadscan", &ts)
+            .build()
+    }
 }
 
 /// Drives `set` under `scheme` per `params`. Generic core shared by all

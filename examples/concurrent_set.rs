@@ -13,8 +13,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use ts_smr::{Smr, ThreadScanSmr};
 use ts_sigscan::SignalPlatform;
+use ts_smr::{Smr, ThreadScanSmr};
 use ts_structures::{ConcurrentSet, HarrisList};
 
 fn main() {

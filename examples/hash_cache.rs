@@ -16,8 +16,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use threadscan::CollectorConfig;
-use ts_smr::{Smr, ThreadScanSmr};
 use ts_sigscan::SignalPlatform;
+use ts_smr::{Smr, ThreadScanSmr};
 use ts_structures::{ConcurrentSet, LockFreeHashTable};
 use ts_workload::OpMix;
 
@@ -74,7 +74,10 @@ fn main() {
     scheme.quiesce();
     let st = scheme.stats();
     let total = ops.load(Ordering::Relaxed);
-    println!("throughput:     {:.2} Mops/s", total as f64 / seconds as f64 / 1e6);
+    println!(
+        "throughput:     {:.2} Mops/s",
+        total as f64 / seconds as f64 / 1e6
+    );
     println!("retired/freed:  {} / {}", st.retired, st.freed);
     println!("collect phases: {}", st.collects);
     if st.collects > 0 {

@@ -17,8 +17,8 @@ use ts_sigscan::SignalPlatform;
 fn plant_node(handle: &ThreadHandle<SignalPlatform>, scratch: &mut [usize; 32]) {
     let node: *mut [u64; 16] = Box::into_raw(Box::new([42u64; 16]));
     scratch[17] = node as usize; // reference lives ONLY in the heap block
-    // Node is unlinked from all *shared* memory (there never was any);
-    // hand it to ThreadScan.
+                                 // Node is unlinked from all *shared* memory (there never was any);
+                                 // hand it to ThreadScan.
     unsafe { handle.retire(node) };
 }
 

@@ -86,7 +86,10 @@ fn main() {
     scheme.quiesce();
     let stats = scheme.stats();
     let expected_live = WORKERS * SESSIONS_PER_WORKER - churned.load(Ordering::Relaxed);
-    println!("sessions live:   {} (expected {expected_live})", registry.len_estimate());
+    println!(
+        "sessions live:   {} (expected {expected_live})",
+        registry.len_estimate()
+    );
     println!("final buckets:   {} (grew from 2)", registry.bucket_count());
     println!("collect phases:  {}", stats.collects);
     println!("nodes freed:     {}", stats.freed);

@@ -1,0 +1,79 @@
+//! Offline stand-in for `crossbeam-utils`.
+//!
+//! Provides [`CachePadded`], the only item this workspace uses. Alignment
+//! follows crossbeam's choices: 128 bytes on x86_64/aarch64 (adjacent-line
+//! prefetcher pairs), 64 elsewhere.
+//!
+//! When a registry becomes reachable, delete `shims/crossbeam-utils` and
+//! point the workspace dependency at crates.io; no source change is needed.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of a cache line (pair).
+#[cfg_attr(any(target_arch = "x86_64", target_arch = "aarch64"), repr(align(128)))]
+#[cfg_attr(
+    not(any(target_arch = "x86_64", target_arch = "aarch64")),
+    repr(align(64))
+)]
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+unsafe impl<T: Send> Send for CachePadded<T> {}
+unsafe impl<T: Sync> Sync for CachePadded<T> {}
+
+impl<T> CachePadded<T> {
+    /// Pads and aligns a value to the length of a cache line.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Returns the inner value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_at_least_a_cache_line() {
+        assert!(core::mem::align_of::<CachePadded<u8>>() >= 64);
+        let p = CachePadded::new(7u32);
+        assert_eq!(*p, 7);
+        assert_eq!(p.into_inner(), 7);
+    }
+}

@@ -1,0 +1,630 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the subset of proptest's API the workspace uses, source-compatible with
+//! the real crate:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//!   [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`], and
+//!   [`prop_oneof!`];
+//! * [`strategy::Strategy`] with `prop_map` and `boxed`, [`strategy::Just`],
+//!   integer/float range strategies, tuple strategies,
+//!   [`collection::vec`] and [`collection::btree_set`], and
+//!   [`arbitrary::any`];
+//! * [`test_runner::ProptestConfig`] honouring the `PROPTEST_CASES`
+//!   environment variable.
+//!
+//! **Deliberate deviations from real proptest:**
+//!
+//! * values are generated, failures reported with the full input set and
+//!   the case seed — but there is **no shrinking**;
+//! * the default case count is **64**, not 256, to keep offline CI fast,
+//!   and `PROPTEST_CASES` *raises* (never lowers) the effective count —
+//!   including past an explicit `with_cases` cap, which real proptest
+//!   would let the env var silently lose to;
+//! * generation is deterministic per test (case index seeds the RNG), so
+//!   reruns reproduce failures without a persistence file.
+//!
+//! When a registry becomes reachable, delete `shims/proptest` and point
+//! the workspace dependency at crates.io; no source change is needed.
+
+/// Test-case execution: config, RNG, and error plumbing used by the
+/// [`proptest!`] expansion.
+pub mod test_runner {
+    /// Run-time configuration for a `proptest!` block.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Unused here (accepted for source compatibility).
+        pub max_shrink_iters: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                max_shrink_iters: 0,
+            }
+        }
+
+        /// The count the runner actually uses: `PROPTEST_CASES` can
+        /// *raise* (never lower) the configured count, so suites keep
+        /// their fast-CI caps by default but a soak run can override
+        /// every block at once. (Deviation from real proptest, where an
+        /// explicit `with_cases` ignores the environment.)
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .map_or(self.cases, |env: u32| env.max(self.cases))
+        }
+    }
+
+    impl Default for ProptestConfig {
+        /// 64 cases — offline-CI default; real proptest uses 256.
+        fn default() -> Self {
+            Self::with_cases(64)
+        }
+    }
+
+    /// A test-case failure (produced by the `prop_assert*` macros).
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self(msg.into())
+        }
+    }
+
+    /// Result type the generated test body returns.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic per-case RNG. Delegates to the in-tree `rand` shim
+    /// (real proptest depends on `rand` the same way) so the workspace
+    /// has exactly one generator implementation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(rand::rngs::SmallRng);
+
+    impl TestRng {
+        /// RNG for case number `case` (every run replays identically).
+        pub fn deterministic(case: u64) -> Self {
+            use rand::SeedableRng;
+            // Decorrelate consecutive case indices before seeding.
+            let seed = case.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 0x9e37_79b9_7f4a_7c15;
+            Self(rand::rngs::SmallRng::seed_from_u64(seed))
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            rand::RngCore::next_u64(&mut self.0)
+        }
+
+        /// Uniform draw from `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            rand::Rng::gen_range(&mut self.0, 0..bound)
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            rand::Rng::gen(&mut self.0)
+        }
+    }
+}
+
+/// Value-generation strategies (the generate-only core of proptest).
+pub mod strategy {
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (needed by [`prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    trait DynStrategy<V> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+    impl<V: Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives ([`prop_oneof!`]).
+    pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+    impl<V> Union<V> {
+        /// Builds a union over `alternatives` (must be non-empty).
+        pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(
+                !alternatives.is_empty(),
+                "prop_oneof! needs at least one arm"
+            );
+            Self(alternatives)
+        }
+    }
+
+    impl<V: Debug> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.0.len() as u64) as usize;
+            self.0[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy range is empty");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "strategy range is empty");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo + rng.below(span + 1) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "strategy range is empty");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident $i:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+
+    /// Full-domain strategy returned by [`crate::arbitrary::any`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    macro_rules! any_ints {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    any_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.unit_f64()
+        }
+    }
+}
+
+/// `any::<T>()` — proptest's arbitrary-value entry point.
+pub mod arbitrary {
+    use std::marker::PhantomData;
+
+    use crate::strategy::Any;
+
+    /// A strategy generating arbitrary values of `T` (for the primitive
+    /// types this workspace uses).
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: crate::strategy::Strategy,
+    {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies: `vec` and `btree_set`.
+pub mod collection {
+    use std::collections::BTreeSet;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A count range for collection strategies (`usize` or `a..b`).
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "collection size range is empty");
+            Self {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi_exclusive - self.lo) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` targeting a size drawn from
+    /// `size` (duplicates may make the set smaller, as in real proptest).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord + Debug,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord + Debug,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            // Bounded retries: a narrow element domain may not admit
+            // `target` distinct values.
+            let mut budget = target * 4 + 16;
+            while set.len() < target && budget > 0 {
+                set.insert(self.element.generate(rng));
+                budget -= 1;
+            }
+            set
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the real crate's syntax: an optional leading
+/// `#![proptest_config(expr)]`, then any number of test functions with
+/// `pattern in strategy` parameters.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __cases = __config.effective_cases();
+            for __case in 0..(__cases as u64) {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(__case);
+                let mut __inputs: ::std::vec::Vec<::std::string::String> =
+                    ::std::vec::Vec::new();
+                $(
+                    let __value =
+                        $crate::strategy::Strategy::generate(&($strategy), &mut __rng);
+                    __inputs.push(::std::format!(
+                        "{} = {:?}", ::std::stringify!($pat), __value
+                    ));
+                    let $pat = __value;
+                )+
+                let __outcome: $crate::test_runner::TestCaseResult =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    ::std::panic!(
+                        "proptest case {}/{} failed: {}\n  inputs:\n    {}\n  \
+                         (no shrinking in the offline shim; rerun reproduces \
+                         this case deterministically)",
+                        __case + 1,
+                        __cases,
+                        e.0,
+                        __inputs.join("\n    "),
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current proptest case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::std::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current proptest case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_eq!($left, $right, "")
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(::std::format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+                            ::std::stringify!($left),
+                            ::std::stringify!($right),
+                            l,
+                            r,
+                            ::std::format!($($fmt)+),
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current proptest case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_ne!($left, $right, "")
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(::std::format!(
+                            "assertion failed: `{} != {}`\n  both: {:?}\n {}",
+                            ::std::stringify!($left),
+                            ::std::stringify!($right),
+                            l,
+                            ::std::format!($($fmt)+),
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10usize..20, y in 0u64..=5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y <= 5);
+        }
+
+        /// Tuples, vec, oneof, map, and mut-patterns all expand.
+        #[test]
+        fn combinators_compose(
+            pairs in crate::collection::vec((1usize..100, 1usize..8), 0..16),
+            mut tagged in crate::collection::vec(
+                prop_oneof![
+                    (1usize..50).prop_map(Some),
+                    Just(None),
+                ],
+                0..8,
+            ),
+            flag in any::<bool>(),
+        ) {
+            for &(a, b) in &pairs {
+                prop_assert!(a >= 1 && a < 100);
+                prop_assert!(b >= 1 && b < 8);
+            }
+            tagged.retain(Option::is_some);
+            prop_assert!(tagged.iter().all(Option::is_some));
+            prop_assert_eq!(flag || !flag, true);
+        }
+    }
+
+    #[test]
+    fn env_var_raises_but_never_lowers_cases() {
+        let pinned = crate::test_runner::ProptestConfig::with_cases(48);
+        std::env::set_var("PROPTEST_CASES", "10000");
+        assert_eq!(pinned.effective_cases(), 10_000, "env must raise a cap");
+        std::env::set_var("PROPTEST_CASES", "2");
+        assert_eq!(pinned.effective_cases(), 48, "env must not lower a cap");
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(pinned.effective_cases(), 48);
+    }
+
+    #[test]
+    fn btree_set_respects_target_size() {
+        let strat = crate::collection::btree_set(0usize..1000, 5..10);
+        let mut rng = crate::test_runner::TestRng::deterministic(1);
+        let s = crate::strategy::Strategy::generate(&strat, &mut rng);
+        assert!(s.len() < 10);
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic(expected = "proptest case")]
+        fn failing_case_panics_with_inputs(x in 0usize..10) {
+            prop_assert!(x > 100, "x was {}", x);
+        }
+    }
+}

@@ -40,7 +40,7 @@ fn t2_access(shared_b: &std::sync::atomic::AtomicPtr<NodeB>, barrier: &Barrier) 
     let b = std::hint::black_box(shared_b.load(Ordering::Acquire));
     barrier.wait(); // T2 holds the reference
     barrier.wait(); // T1 has disconnected and called free(B)
-    // 4-5. val = B.value; return val + 2 — the dangerous read.
+                    // 4-5. val = B.value; return val + 2 — the dangerous read.
     let val = unsafe { (*std::hint::black_box(b)).value };
     val + 2
 }

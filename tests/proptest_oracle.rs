@@ -39,7 +39,11 @@ fn check_against_oracle<S: Smr, T: ConcurrentSet<S>>(scheme: &S, set: &T, ops: &
                 assert_eq!(set.remove(&handle, k), oracle.remove(&k), "remove({k})");
             }
             SetOp::Contains(k) => {
-                assert_eq!(set.contains(&handle, k), oracle.contains(&k), "contains({k})");
+                assert_eq!(
+                    set.contains(&handle, k),
+                    oracle.contains(&k),
+                    "contains({k})"
+                );
             }
         }
     }

@@ -44,7 +44,9 @@ fn churn_structure<T: ConcurrentSet<Ts> + 'static>(scheme: Arc<Ts>, set: Arc<T>,
                     if set.remove(&h, key) {
                         set.insert(&h, key);
                     }
-                    k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    k = k
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                 }
             });
         }

@@ -32,7 +32,11 @@ fn full_matrix_completes() {
 fn reclaiming_schemes_free_memory() {
     // With frequent updates and small structures, every reclaiming scheme
     // must show bounded outstanding garbage after quiescing.
-    for scheme in [SchemeKind::Hazard, SchemeKind::Epoch, SchemeKind::ThreadScan] {
+    for scheme in [
+        SchemeKind::Hazard,
+        SchemeKind::Epoch,
+        SchemeKind::ThreadScan,
+    ] {
         let mut p = quick(StructureKind::List, 3).with_update_pct(50);
         p.ts_buffer_capacity = 64;
         p.duration = Duration::from_millis(300);
@@ -83,7 +87,9 @@ fn slow_epoch_throughput_collapses_vs_epoch() {
 fn oversubscription_smoke() {
     // 4× more threads than this machine has: everything still completes
     // and ThreadScan still reclaims (Figure 4's regime).
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let threads = (hw * 4).max(4);
     for scheme in SchemeKind::OVERSUB {
         let mut p = quick(StructureKind::Hash, threads);
