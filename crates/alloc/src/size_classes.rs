@@ -51,7 +51,7 @@ pub fn class_of(size: usize) -> Option<usize> {
     if size > MAX_SMALL {
         return None;
     }
-    Some(CLASS_FOR_STEP[(size + 15) / 16] as usize)
+    Some(CLASS_FOR_STEP[size.div_ceil(16)] as usize)
 }
 
 /// The block size of class `class`.

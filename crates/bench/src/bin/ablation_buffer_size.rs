@@ -52,7 +52,7 @@ fn main() {
             .with_duration(duration)
             .with_ts_buffer(size);
         let r = run_combo(SchemeKind::ThreadScan, &params);
-        let ts = r.threadscan.unwrap_or_default();
+        let ts = r.threadscan.clone().unwrap_or_default();
         let wpc = if ts.collects > 0 {
             ts.words_scanned as f64 / ts.collects as f64
         } else {

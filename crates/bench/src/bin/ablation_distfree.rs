@@ -55,10 +55,12 @@ fn main() {
         // free calls should cut the reclaimer's per-phase latency.
         let (s_mean, s_max) = stock
             .threadscan
+            .as_ref()
             .map(|x| (x.mean_collect_us, x.max_collect_us))
             .unwrap_or((0.0, 0.0));
         let (d_mean, d_max) = dist
             .threadscan
+            .as_ref()
             .map(|x| (x.mean_collect_us, x.max_collect_us))
             .unwrap_or((0.0, 0.0));
         println!(

@@ -47,8 +47,8 @@ fn main() {
         exact_params.ts_exact_match = true;
         let exact = run_combo(SchemeKind::ThreadScan, &exact_params);
 
-        let r = range.threadscan.unwrap_or_default();
-        let e = exact.threadscan.unwrap_or_default();
+        let r = range.threadscan.clone().unwrap_or_default();
+        let e = exact.threadscan.clone().unwrap_or_default();
         println!(
             "{:>8} {:>13.3} {:>13.3} {:>13} {:>13} {:>13.1} {:>13.1}",
             threads,

@@ -54,7 +54,7 @@ fn main() {
                     .with_key_dist(dist);
                 let r = run_combo(scheme, &params);
                 row.push_str(&format!("{:>14.3}", r.ops_per_sec / 1e6));
-                if let Some(ts) = r.threadscan {
+                if let Some(ts) = &r.threadscan {
                     survivors = ts.survivors;
                 }
                 report.push(r);

@@ -7,9 +7,11 @@
 //! * the thread that fills its buffer becomes the **reclaimer**, serialized
 //!   by a lock ("we ensure that there is always at most a single active
 //!   reclaimer in the system via a lock");
-//! * the reclaimer aggregates every thread's buffer into a master buffer,
-//!   sorts it, has every thread scan (via the [`Platform`]), then frees
-//!   unmarked nodes and carries marked survivors into the next phase;
+//! * the reclaimer aggregates every thread's buffer into a master buffer
+//!   (partitioned by address into [`CollectorConfig::shards`] independently
+//!   sorted shards, all under the reclaimer lock), has every thread scan
+//!   (via the [`Platform`]), then frees unmarked nodes and carries marked
+//!   survivors into the next phase;
 //! * a thread that blocked on the reclaimer lock re-checks its buffer and
 //!   "will probably discover that its buffer has been drained ... and that
 //!   it can go back to work".
@@ -109,12 +111,21 @@ impl<P: Platform> Collector<P> {
         self.stats.snapshot()
     }
 
+    /// Per-shard entry counts of the most recent reclamation phase
+    /// (empty before the first phase).
+    pub fn last_shard_sizes(&self) -> Vec<usize> {
+        self.stats.last_shard_sizes()
+    }
+
     /// Nodes currently awaiting a later phase (marked survivors), orphaned
-    /// records, and queued distributed frees. Diagnostic; racy by nature.
+    /// records, records still sitting in live per-thread delete buffers,
+    /// and queued distributed frees — everything retired but not yet
+    /// freed. Diagnostic; racy by nature.
     pub fn pending_estimate(&self) -> usize {
         self.reclaim.lock().survivors.len()
             + self.orphans.lock().len()
             + self.free_queue.lock().len()
+            + self.buffers.lock().iter().map(|b| b.len()).sum::<usize>()
     }
 
     /// Forces a full reclamation phase now, regardless of buffer fullness,
@@ -127,7 +138,11 @@ impl<P: Platform> Collector<P> {
         let mut state = self.reclaim.lock();
         self.collect_locked(&mut state, &ctx);
         drop(state);
-        self.drain_free_queue(usize::MAX);
+        // Forced path: block for the queue instead of `try_lock`, so a
+        // caller of `flush()` never returns with proven-reclaimable nodes
+        // still queued just because another thread's drain was in flight.
+        let batch: Vec<Retired> = self.free_queue.lock().drain(..).collect();
+        self.reclaim_free_batch(batch);
     }
 
     /// Triggered collect: called when `trigger`'s owner found it full.
@@ -159,6 +174,9 @@ impl<P: Platform> Collector<P> {
         let phase_start = std::time::Instant::now();
 
         let master = MasterBuffer::new(entries, &self.config);
+        self.stats.add(&self.stats.sort_ns_total, master.sort_ns());
+        self.stats.raise(&self.stats.sort_ns_max, master.sort_ns());
+        self.stats.record_shard_sizes(master.shard_sizes());
         let session = master.session();
         let outcome = self.platform.scan_all(&session, ctx);
 
@@ -196,8 +214,12 @@ impl<P: Platform> Collector<P> {
 
     /// Frees up to `max` queued nodes from the distributed-free queue.
     /// Returns how many were freed.
+    ///
+    /// Best-effort: `try_lock` keeps the `retire` fast path
+    /// contention-free, so under contention this may free nothing. The
+    /// forced path ([`Self::collect_now`] / `ThreadHandle::flush`) takes a
+    /// blocking lock instead and always drains.
     pub fn drain_free_queue(&self, max: usize) -> usize {
-        // `try_lock` keeps the fast path of `retire` contention-free.
         let batch: Vec<Retired> = match self.free_queue.try_lock() {
             Some(mut q) => {
                 let n = q.len().min(max);
@@ -205,6 +227,11 @@ impl<P: Platform> Collector<P> {
             }
             None => return 0,
         };
+        self.reclaim_free_batch(batch)
+    }
+
+    /// Reclaims a batch popped off the free queue, updating the counters.
+    fn reclaim_free_batch(&self, batch: Vec<Retired>) -> usize {
         let n = batch.len();
         for r in batch {
             // SAFETY: nodes only enter the queue after a completed scan
@@ -527,6 +554,69 @@ mod tests {
         drop(handle);
         drop(collector);
         assert_eq!(counter.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn pending_estimate_counts_live_thread_buffers() {
+        // Regression: records sitting in a live per-thread buffer used to
+        // be invisible to the estimate, so "everything not yet freed" read
+        // as zero right after a retire.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let collector = Collector::with_config(
+            NullPlatform,
+            CollectorConfig::default().with_buffer_capacity(64),
+        );
+        let handle = collector.register();
+        for _ in 0..3 {
+            unsafe { handle.retire(node(&counter)) };
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 0, "buffer not full yet");
+        assert_eq!(
+            collector.pending_estimate(),
+            3,
+            "buffered records are pending"
+        );
+        handle.flush();
+        assert_eq!(collector.pending_estimate(), 0);
+        drop(handle);
+    }
+
+    #[test]
+    fn forced_flush_drains_free_queue_despite_contention() {
+        // Regression: `collect_now` used to drain the distributed-free
+        // queue with `try_lock`, so a forced flush racing any other drain
+        // returned with proven-reclaimable nodes still queued.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let collector = Collector::with_config(
+            NullPlatform,
+            CollectorConfig::default()
+                .with_buffer_capacity(4)
+                .with_distributed_frees(true),
+        );
+        let handle = collector.register();
+        for _ in 0..4 {
+            unsafe { handle.retire(node(&counter)) };
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 0, "queued, not yet freed");
+
+        // Hold the free-queue lock while another thread runs the forced
+        // path; with `try_lock` it would bail and leave the queue full.
+        let guard = collector.free_queue.lock();
+        let flusher = {
+            let collector = Arc::clone(&collector);
+            std::thread::spawn(move || collector.collect_now())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        drop(guard);
+        flusher.join().unwrap();
+
+        assert_eq!(
+            counter.load(Ordering::SeqCst),
+            4,
+            "forced flush must block for the queue and free everything"
+        );
+        assert_eq!(collector.pending_estimate(), 0);
+        drop(handle);
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub struct CollectorConfig {
     /// Low-order bits ignored during exact matching, to tolerate tag bits
     /// such as Harris-list deletion marks. The paper masks low-order bits;
     /// 0b111 tolerates any tagging in the low three bits of 8-byte-aligned
-    /// nodes.
+    /// nodes. Must be a contiguous low-bit mask (`2^k - 1`): exact
+    /// matching pre-masks the sorted buffer keys, and only a contiguous
+    /// mask preserves their order (checked in debug builds when a master
+    /// buffer is built in Exact mode).
     pub low_bit_mask: usize,
     /// §7 future-work extension: when `true`, the reclaimer does not free
     /// unmarked nodes itself. Instead they are published to a shared free
@@ -45,6 +48,25 @@ pub struct CollectorConfig {
     pub distributed_free_batch: usize,
     /// Maximum number of registered per-thread heap blocks (§4.3 extension).
     pub max_heap_blocks: usize,
+    /// Number of address-range shards the master buffer is partitioned
+    /// into per reclamation phase. Shards sort independently, so reclaimer
+    /// latency stops growing with one global sort, and scans binary-search
+    /// one shard after a fence lookup. `1` reproduces the paper's single
+    /// sorted delete buffer exactly; the default scales with available
+    /// parallelism. Small phases use fewer shards automatically.
+    pub shards: usize,
+}
+
+/// Default shard count: the number of hardware threads, rounded up to a
+/// power of two and capped — the reclaimer aggregates one delete buffer
+/// per thread, so this keeps per-shard sort work roughly one buffer's
+/// worth at full load.
+fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .next_power_of_two()
+        .min(64)
 }
 
 impl Default for CollectorConfig {
@@ -56,6 +78,7 @@ impl Default for CollectorConfig {
             distribute_frees: false,
             distributed_free_batch: 64,
             max_heap_blocks: 16,
+            shards: default_shards(),
         }
     }
 }
@@ -94,6 +117,17 @@ impl CollectorConfig {
         self.distribute_frees = on;
         self
     }
+
+    /// Builder-style override of the master-buffer shard count.
+    /// `1` restores the original single-sorted-array behavior.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(
+            (1..=4096).contains(&shards),
+            "shard count must be in 1..=4096"
+        );
+        self.shards = shards;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +140,20 @@ mod tests {
         assert_eq!(cfg.buffer_capacity, 1024);
         assert_eq!(cfg.match_mode, MatchMode::Range);
         assert!(!cfg.distribute_frees);
+        assert!(cfg.shards >= 1, "default shards derive from parallelism");
+        assert!(cfg.shards <= 64);
+    }
+
+    #[test]
+    fn shard_builder_round_trips() {
+        assert_eq!(CollectorConfig::default().with_shards(1).shards, 1);
+        assert_eq!(CollectorConfig::default().with_shards(8).shards, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=4096")]
+    fn zero_shards_rejected() {
+        let _ = CollectorConfig::default().with_shards(0);
     }
 
     #[test]

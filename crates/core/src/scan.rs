@@ -30,6 +30,12 @@ pub fn find_range(addrs: &[usize], ends: &[usize], w: usize) -> Option<usize> {
 /// off, if any. This is the paper's §4.2 behaviour: "The scanning process
 /// masks off the low-order bits of memory it reads on a stack chunk".
 /// Tolerates tag bits (e.g. Harris-list deletion marks) up to `mask`.
+///
+/// `addrs` must hold *pre-masked* keys (`addr & !mask`), sorted ascending —
+/// the master buffer masks entry addresses when it is built. Masking both
+/// sides is what makes a node retired at a tagged address matchable; with
+/// raw buffer addresses, a probe masked to the aligned base could never
+/// equal the tagged entry and a stably held reference would be missed.
 #[inline]
 pub fn find_exact(addrs: &[usize], w: usize, mask: usize) -> Option<usize> {
     let target = w & !mask;
@@ -45,10 +51,12 @@ pub fn find_range_linear(addrs: &[usize], ends: &[usize], w: usize) -> Option<us
         .position(|(&a, &e)| a <= w && w < e)
 }
 
-/// Linear-scan oracle for [`find_exact`].
+/// Linear-scan oracle for [`find_exact`]. Unlike the binary-search kernel,
+/// this accepts raw (unmasked) entry addresses: both sides are masked here,
+/// which is the semantics the master buffer implements by pre-masking.
 pub fn find_exact_linear(addrs: &[usize], w: usize, mask: usize) -> Option<usize> {
     let target = w & !mask;
-    addrs.iter().position(|&a| a == target)
+    addrs.iter().position(|&a| a & !mask == target)
 }
 
 #[cfg(test)]

@@ -1,15 +1,33 @@
 //! The scan session: what a signal handler sees.
 //!
 //! A [`ScanSession`] is the read-mostly view of one reclamation phase's
-//! master buffer, plus the acknowledgment counter. Everything reachable from
-//! it is async-signal-safe to use: plain loads, a binary search over two
-//! slices, atomic stores for marks, and one atomic increment for the ACK.
-//! No allocation, no locks, no unwinding on the scan path.
+//! sharded master buffer, plus the acknowledgment counter. Everything
+//! reachable from it is async-signal-safe to use: plain loads, a fence
+//! lookup plus one binary search over two slices, atomic stores for marks,
+//! and one atomic increment for the ACK. No allocation, no locks, no
+//! unwinding on the scan path (the shard views are allocated once, by the
+//! reclaimer, when the session is created).
 
 use core::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
 use crate::config::MatchMode;
 use crate::scan::{find_exact, find_range};
+
+/// Read-only view of one master-buffer shard: sorted search keys, node
+/// ends, and the mark bytes, all parallel.
+pub(crate) struct ShardView<'a> {
+    addrs: &'a [usize],
+    ends: &'a [usize],
+    marks: &'a [AtomicU8],
+}
+
+impl<'a> ShardView<'a> {
+    pub(crate) fn new(addrs: &'a [usize], ends: &'a [usize], marks: &'a [AtomicU8]) -> Self {
+        debug_assert_eq!(addrs.len(), ends.len());
+        debug_assert_eq!(addrs.len(), marks.len());
+        Self { addrs, ends, marks }
+    }
+}
 
 /// Handler-facing view of the current reclamation phase.
 ///
@@ -17,9 +35,11 @@ use crate::scan::{find_exact, find_range};
 /// guarantees that every handler finishes (acknowledges) before the buffer
 /// is swept, so the borrow never dangles while a scan is in flight.
 pub struct ScanSession<'a> {
-    addrs: &'a [usize],
-    ends: &'a [usize],
-    marks: &'a [AtomicU8],
+    /// Address-partitioned shards, ascending; never empty.
+    shards: Box<[ShardView<'a>]>,
+    /// `fences[k]` is the first search key of shard `k + 1`
+    /// (`fences.len() == shards.len() - 1`).
+    fences: &'a [usize],
     mode: MatchMode,
     low_bit_mask: usize,
     /// Counts *up*: each participating thread increments exactly once after
@@ -33,18 +53,16 @@ pub struct ScanSession<'a> {
 
 impl<'a> ScanSession<'a> {
     pub(crate) fn new(
-        addrs: &'a [usize],
-        ends: &'a [usize],
-        marks: &'a [AtomicU8],
+        shards: Vec<ShardView<'a>>,
+        fences: &'a [usize],
         mode: MatchMode,
         low_bit_mask: usize,
     ) -> Self {
-        debug_assert_eq!(addrs.len(), ends.len());
-        debug_assert_eq!(addrs.len(), marks.len());
+        debug_assert!(!shards.is_empty());
+        debug_assert_eq!(fences.len(), shards.len() - 1);
         Self {
-            addrs,
-            ends,
-            marks,
+            shards: shards.into_boxed_slice(),
+            fences,
             mode,
             low_bit_mask,
             acks: AtomicUsize::new(0),
@@ -56,27 +74,39 @@ impl<'a> ScanSession<'a> {
     /// Number of retired nodes being considered this phase.
     #[inline]
     pub fn len(&self) -> usize {
-        self.addrs.len()
+        self.shards.iter().map(|s| s.addrs.len()).sum()
     }
 
     /// True when there is nothing to scan for.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.addrs.is_empty()
+        self.len() == 0
     }
 
-    /// Tests one word against the delete buffer, marking on a hit.
-    /// Returns whether the word matched a retired node.
+    /// Matching kernel shared by all scan entry points: fence lookup to
+    /// the one shard whose address range covers the word, then a binary
+    /// search there, marking on a hit. Because every shard's first key is
+    /// a fence, this finds exactly what a single sorted array would. Does
+    /// *not* touch `words_scanned` — every public entry point accounts
+    /// for its own words exactly once (the batch paths with one batched
+    /// add, to keep a shared-counter RMW per word off the scan hot path).
     #[inline]
-    pub fn scan_word(&self, w: usize) -> bool {
+    fn probe_word(&self, w: usize) -> bool {
+        // Fences live in search-key space: masked in Exact mode, raw in
+        // Range mode (where find_range keys on the raw base address).
+        let key = match self.mode {
+            MatchMode::Range => w,
+            MatchMode::Exact => w & !self.low_bit_mask,
+        };
+        let shard = &self.shards[self.fences.partition_point(|&f| f <= key)];
         let idx = match self.mode {
-            MatchMode::Range => find_range(self.addrs, self.ends, w),
-            MatchMode::Exact => find_exact(self.addrs, w, self.low_bit_mask),
+            MatchMode::Range => find_range(shard.addrs, shard.ends, w),
+            MatchMode::Exact => find_exact(shard.addrs, w, self.low_bit_mask),
         };
         if let Some(i) = idx {
             // A plain store is enough: marking is idempotent and only ever
             // sets the flag; `fetch_or` would cost an RMW per hit.
-            self.marks[i].store(1, Ordering::Release);
+            shard.marks[i].store(1, Ordering::Release);
             self.hits.fetch_add(1, Ordering::Relaxed);
             true
         } else {
@@ -84,10 +114,18 @@ impl<'a> ScanSession<'a> {
         }
     }
 
+    /// Tests one word against the delete buffer, marking on a hit.
+    /// Returns whether the word matched a retired node.
+    #[inline]
+    pub fn scan_word(&self, w: usize) -> bool {
+        self.words_scanned.fetch_add(1, Ordering::Relaxed);
+        self.probe_word(w)
+    }
+
     /// Scans a slice of already-captured words (e.g. saved registers).
     pub fn scan_words(&self, words: &[usize]) {
         for &w in words {
-            self.scan_word(w);
+            self.probe_word(w);
         }
         self.words_scanned.fetch_add(words.len(), Ordering::Relaxed);
     }
@@ -114,7 +152,7 @@ impl<'a> ScanSession<'a> {
             // SAFETY: cur is word-aligned and inside the caller-guaranteed
             // readable range.
             let w = unsafe { core::ptr::read_volatile(cur as *const usize) };
-            self.scan_word(w);
+            self.probe_word(w);
             cur += WORD;
             n += 1;
         }
@@ -152,11 +190,15 @@ mod tests {
     use crate::retired::{noop_drop, Retired};
 
     fn master(nodes: &[(usize, usize)]) -> MasterBuffer {
+        master_sharded(nodes, 1)
+    }
+
+    fn master_sharded(nodes: &[(usize, usize)], shards: usize) -> MasterBuffer {
         let entries = nodes
             .iter()
             .map(|&(a, s)| unsafe { Retired::from_raw_parts(a, s, noop_drop) })
             .collect();
-        MasterBuffer::new(entries, &CollectorConfig::default())
+        MasterBuffer::new(entries, &CollectorConfig::default().with_shards(shards))
     }
 
     #[test]
@@ -168,6 +210,37 @@ mod tests {
         assert_eq!(s.hits(), 2);
         drop(s);
         assert!(mb.is_marked(0) && mb.is_marked(1));
+    }
+
+    #[test]
+    fn scan_word_counts_direct_calls() {
+        // Regression (stats undercount): `scan_word` is public and used
+        // directly by roots/heap-block scanning; it must count the word
+        // itself, and the batch paths must not double-count.
+        let mb = master(&[(0x1000, 64)]);
+        let s = mb.session();
+        assert!(s.scan_word(0x1000));
+        assert!(!s.scan_word(0x9999));
+        assert_eq!(s.words_scanned(), 2, "direct scan_word calls must count");
+        s.scan_words(&[0x1, 0x2, 0x3]);
+        assert_eq!(s.words_scanned(), 5, "batch path must count once per word");
+    }
+
+    #[test]
+    fn sharded_session_routes_words_across_fences() {
+        let nodes: Vec<(usize, usize)> = (0..256).map(|i| (0x10_0000 + i * 128, 64)).collect();
+        let mb = master_sharded(&nodes, 8);
+        assert!(mb.shard_count() > 1, "must exercise the fence lookup");
+        let s = mb.session();
+        for (i, &(a, _)) in nodes.iter().enumerate() {
+            // Interior words and misses, spread over every shard.
+            assert!(s.scan_word(a + 32), "node {i}");
+            assert!(!s.scan_word(a + 100), "gap after node {i}");
+        }
+        drop(s);
+        for i in 0..nodes.len() {
+            assert!(mb.is_marked(i), "entry {i} must be marked");
+        }
     }
 
     #[test]
@@ -223,7 +296,7 @@ mod tests {
     fn concurrent_scans_mark_consistently() {
         use std::sync::Arc;
         let nodes: Vec<(usize, usize)> = (0..512).map(|i| (0x10_0000 + i * 128, 128)).collect();
-        let mb = Arc::new(master(&nodes));
+        let mb = Arc::new(master_sharded(&nodes, 4));
         let session = mb.session();
         std::thread::scope(|scope| {
             let session = &session;

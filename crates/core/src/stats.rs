@@ -7,6 +7,8 @@
 
 use core::sync::atomic::{AtomicUsize, Ordering};
 
+use parking_lot::Mutex;
+
 /// Monotonic counters describing a collector's lifetime activity.
 #[derive(Default)]
 pub struct CollectorStats {
@@ -35,6 +37,17 @@ pub struct CollectorStats {
     pub collect_ns_total: AtomicUsize,
     /// Longest single collect phase, in nanoseconds.
     pub collect_ns_max: AtomicUsize,
+    /// Nanoseconds spent partitioning and sorting the sharded master
+    /// buffer, summed over phases — the component of reclaimer latency
+    /// the sharded layout attacks directly.
+    pub sort_ns_total: AtomicUsize,
+    /// Longest single partition-and-sort, in nanoseconds.
+    pub sort_ns_max: AtomicUsize,
+    /// Largest single master-buffer shard seen in any phase (entries).
+    pub max_shard_len: AtomicUsize,
+    /// Per-shard entry counts of the most recent reclamation phase
+    /// (not part of the `Copy` snapshot; see [`Self::last_shard_sizes`]).
+    last_shard_sizes: Mutex<Vec<usize>>,
 }
 
 /// A point-in-time copy of [`CollectorStats`].
@@ -52,6 +65,9 @@ pub struct StatsSnapshot {
     pub distributed_frees: usize,
     pub collect_ns_total: usize,
     pub collect_ns_max: usize,
+    pub sort_ns_total: usize,
+    pub sort_ns_max: usize,
+    pub max_shard_len: usize,
 }
 
 impl CollectorStats {
@@ -69,7 +85,24 @@ impl CollectorStats {
             distributed_frees: self.distributed_frees.load(Ordering::Relaxed),
             collect_ns_total: self.collect_ns_total.load(Ordering::Relaxed),
             collect_ns_max: self.collect_ns_max.load(Ordering::Relaxed),
+            sort_ns_total: self.sort_ns_total.load(Ordering::Relaxed),
+            sort_ns_max: self.sort_ns_max.load(Ordering::Relaxed),
+            max_shard_len: self.max_shard_len.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-shard entry counts of the most recent reclamation phase (empty
+    /// before the first phase).
+    pub fn last_shard_sizes(&self) -> Vec<usize> {
+        self.last_shard_sizes.lock().clone()
+    }
+
+    /// Records the shard layout of a completed phase.
+    pub(crate) fn record_shard_sizes(&self, sizes: Vec<usize>) {
+        if let Some(&largest) = sizes.iter().max() {
+            self.raise(&self.max_shard_len, largest);
+        }
+        *self.last_shard_sizes.lock() = sizes;
     }
 
     #[inline]
@@ -121,6 +154,16 @@ impl StatsSnapshot {
     pub fn max_collect_us(&self) -> f64 {
         self.collect_ns_max as f64 / 1e3
     }
+
+    /// Mean per-phase partition-and-sort time in microseconds — the share
+    /// of [`Self::mean_collect_us`] the sharded master buffer targets.
+    pub fn mean_sort_us(&self) -> f64 {
+        if self.collects == 0 {
+            0.0
+        } else {
+            self.sort_ns_total as f64 / self.collects as f64 / 1e3
+        }
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +208,25 @@ mod tests {
         let snap = stats.snapshot();
         assert_eq!(snap.mean_collect_us(), 2.0);
         assert_eq!(snap.max_collect_us(), 3.0);
+    }
+
+    #[test]
+    fn shard_sizes_record_last_phase_and_running_max() {
+        let stats = CollectorStats::default();
+        assert!(stats.last_shard_sizes().is_empty());
+        stats.record_shard_sizes(vec![3, 9, 4]);
+        stats.record_shard_sizes(vec![5, 5]);
+        assert_eq!(stats.last_shard_sizes(), vec![5, 5]);
+        assert_eq!(stats.snapshot().max_shard_len, 9);
+    }
+
+    #[test]
+    fn mean_sort_us_amortizes_over_collects() {
+        let stats = CollectorStats::default();
+        stats.add(&stats.collects, 2);
+        stats.add(&stats.sort_ns_total, 6_000);
+        assert_eq!(stats.snapshot().mean_sort_us(), 3.0);
+        assert_eq!(StatsSnapshot::default().mean_sort_us(), 0.0);
     }
 
     #[test]

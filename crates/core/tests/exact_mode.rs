@@ -110,6 +110,49 @@ fn range_mode_pins_both_base_and_interior() {
 }
 
 #[test]
+fn exact_mode_pins_nodes_retired_at_tagged_addresses() {
+    // Regression (mask asymmetry): only the probe word used to be masked,
+    // so a node retired at an address with low bits inside `low_bit_mask`
+    // (e.g. a tagged pointer passed straight to retire) could never be
+    // matched — a stably held reference would be reclaimed out from under
+    // the thread. Entry addresses are masked too now.
+    use std::sync::atomic::AtomicUsize as Count;
+    static FREED: Count = Count::new(0);
+    fn counting_drop(_p: *mut u8) {
+        FREED.fetch_add(1, Ordering::SeqCst);
+    }
+
+    let platform = WordPlatform::default();
+    let odd_addr = 0x7000_1001usize; // low bits set: inside the 0b111 mask
+    platform.words.lock().push(odd_addr); // the thread's stable reference
+
+    let collector = Collector::with_config(
+        platform,
+        CollectorConfig::default()
+            .with_buffer_capacity(2)
+            .with_match_mode(MatchMode::Exact),
+    );
+    let handle = collector.register();
+    unsafe { handle.retire_raw(odd_addr, 64, counting_drop) };
+    unsafe { handle.retire_raw(0x7000_2000, 64, counting_drop) }; // filler, triggers the phase
+    assert_eq!(
+        FREED.load(Ordering::SeqCst),
+        1,
+        "only the unreferenced filler may be freed; the odd-address node is held"
+    );
+    assert_eq!(collector.pending_estimate(), 1, "held node survives");
+
+    collector.platform().words.lock().clear();
+    collector.collect_now();
+    assert_eq!(
+        FREED.load(Ordering::SeqCst),
+        2,
+        "released once unreferenced"
+    );
+    drop(handle);
+}
+
+#[test]
 fn survivors_are_rescanned_every_phase_until_released() {
     let drops = Arc::new(AtomicUsize::new(0));
     let platform = WordPlatform::default();

@@ -194,7 +194,7 @@ impl<S: Smr> SplitOrderedSet<S> {
                     // SAFETY: `fresh` never escaped; reconstruct with the
                     // allocation's length to free it.
                     unsafe {
-                        drop(Box::from_raw(std::slice::from_raw_parts_mut(
+                        drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
                             fresh, seg_len,
                         )));
                     }
@@ -522,7 +522,9 @@ impl<S: Smr> Drop for SplitOrderedSet<S> {
                 };
                 // SAFETY: allocated with exactly this length above.
                 unsafe {
-                    drop(Box::from_raw(std::slice::from_raw_parts_mut(base, seg_len)));
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                        base, seg_len,
+                    )));
                 }
             }
         }
@@ -570,13 +572,10 @@ mod tests {
 
     #[test]
     fn segment_locate_covers_directory_without_gaps() {
-        let mut next_expected = 0usize;
         for bucket in 0..(1 << 12) {
             let (seg, off, seg_len) = SplitOrderedSet::<Leaky>::locate(bucket);
             assert!(seg < MAX_SEGMENTS);
             assert!(off < seg_len, "offset {off} within segment {seg}");
-            next_expected += 1;
-            let _ = next_expected;
         }
         // Boundary spot checks.
         assert_eq!(SplitOrderedSet::<Leaky>::locate(0), (0, 0, 256));

@@ -206,6 +206,14 @@ impl ObjectBuilder {
         self
     }
 
+    /// Adds a numeric-array field.
+    pub fn arr_num(mut self, key: &str, values: impl IntoIterator<Item = f64>) -> Self {
+        let items: Vec<String> = values.into_iter().map(fmt_number).collect();
+        self.parts
+            .push(format!("{}:[{}]", escape(key), items.join(",")));
+        self
+    }
+
     /// Adds a field holding pre-rendered JSON (nested object or `null`).
     pub fn raw(mut self, key: &str, rendered: &str) -> Self {
         self.parts.push(format!("{}:{rendered}", escape(key)));
@@ -445,6 +453,24 @@ mod tests {
         assert_eq!(v["ok"], true);
         assert!(v["leaked"].is_null());
         assert_eq!(v["nested"]["x"], 1u64);
+    }
+
+    #[test]
+    fn builder_emits_numeric_arrays() {
+        let line = ObjectBuilder::new()
+            .arr_num("sizes", [3.0, 1.0, 2.0])
+            .arr_num("empty", [])
+            .build();
+        let v = parse(&line).unwrap();
+        assert_eq!(
+            v["sizes"],
+            Value::Array(vec![
+                Value::Number(3.0),
+                Value::Number(1.0),
+                Value::Number(2.0)
+            ])
+        );
+        assert_eq!(v["empty"], Value::Array(Vec::new()));
     }
 
     #[test]

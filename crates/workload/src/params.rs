@@ -131,6 +131,10 @@ pub struct WorkloadParams {
     /// traversals hold node-base pointers exclusively (the Harris list:
     /// its `next` field is at offset 0).
     pub ts_exact_match: bool,
+    /// Master-buffer shard count for ThreadScan runs (`0` keeps the
+    /// collector's parallelism-derived default; `1` is the paper's single
+    /// sorted delete buffer).
+    pub ts_shards: usize,
     /// Slow-epoch injected delay.
     pub slow_epoch_delay: Duration,
     /// Slow-epoch delay cadence in operations.
@@ -185,6 +189,7 @@ impl WorkloadParams {
             ts_buffer_capacity: 1024,
             ts_distribute_frees: false,
             ts_exact_match: false,
+            ts_shards: 0,
             slow_epoch_delay: Duration::from_millis(40),
             slow_epoch_period_ops: 4096,
         }
@@ -206,6 +211,13 @@ impl WorkloadParams {
     /// Builder: ThreadScan buffer capacity (Figure 4 tuning).
     pub fn with_ts_buffer(mut self, cap: usize) -> Self {
         self.ts_buffer_capacity = cap;
+        self
+    }
+
+    /// Builder: ThreadScan master-buffer shard count (shard-count
+    /// ablation); `0` keeps the collector default.
+    pub fn with_ts_shards(mut self, shards: usize) -> Self {
+        self.ts_shards = shards;
         self
     }
 

@@ -20,7 +20,7 @@ use crate::mix::{prefill_keys, Op, OpMix};
 use crate::params::{SchemeKind, StructureKind, WorkloadParams};
 
 /// ThreadScan-specific counters attached to a run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ThreadScanExtras {
     /// Reclamation phases during the run.
     pub collects: usize,
@@ -36,6 +36,14 @@ pub struct ThreadScanExtras {
     pub mean_collect_us: f64,
     /// Worst-case reclaimer-side collect latency (µs).
     pub max_collect_us: f64,
+    /// Mean per-phase master-buffer partition-and-sort time (µs).
+    pub mean_sort_us: f64,
+    /// Largest master-buffer shard seen in any phase (entries).
+    pub max_shard_len: usize,
+    /// Per-shard entry counts of the last reclamation phase of the
+    /// measurement window, snapshotted before the end-of-run quiesce
+    /// (empty when no phase ran during the window).
+    pub shard_sizes: Vec<usize>,
 }
 
 /// One measured cell.
@@ -73,6 +81,9 @@ impl ThreadScanExtras {
             .num("threads_scanned", self.threads_scanned as f64)
             .num("mean_collect_us", self.mean_collect_us)
             .num("max_collect_us", self.max_collect_us)
+            .num("mean_sort_us", self.mean_sort_us)
+            .num("max_shard_len", self.max_shard_len as f64)
+            .arr_num("shard_sizes", self.shard_sizes.iter().map(|&s| s as f64))
             .build()
     }
 }
@@ -215,7 +226,7 @@ pub fn run_combo(scheme: SchemeKind, params: &WorkloadParams) -> RunResult {
         SchemeKind::ThreadScan => {
             let platform =
                 SignalPlatform::new().expect("signal platform unavailable on this system");
-            let config = threadscan::CollectorConfig::default()
+            let mut config = threadscan::CollectorConfig::default()
                 .with_buffer_capacity(params.ts_buffer_capacity)
                 .with_distributed_frees(params.ts_distribute_frees)
                 .with_match_mode(if params.ts_exact_match {
@@ -223,10 +234,19 @@ pub fn run_combo(scheme: SchemeKind, params: &WorkloadParams) -> RunResult {
                 } else {
                     threadscan::MatchMode::Range
                 });
+            if params.ts_shards > 0 {
+                config = config.with_shards(params.ts_shards);
+            }
             let s = Arc::new(ThreadScanSmr::with_config(platform, config));
             let (ops, secs) = drive_structure(&s, params);
-            s.quiesce();
+            // Snapshot stats and shard layout before the quiesce: its
+            // small end-of-run drain phases would dilute the per-phase
+            // latency/sort means and overwrite the last in-run shard
+            // sizes, and the extras should describe the measured window.
+            // (`outstanding` is still read after the quiesce below.)
             let st = s.stats();
+            let shard_sizes = s.collector().last_shard_sizes();
+            s.quiesce();
             let extras = ThreadScanExtras {
                 collects: st.collects,
                 words_scanned: st.words_scanned,
@@ -235,6 +255,9 @@ pub fn run_combo(scheme: SchemeKind, params: &WorkloadParams) -> RunResult {
                 threads_scanned: st.threads_scanned,
                 mean_collect_us: st.mean_collect_us(),
                 max_collect_us: st.max_collect_us(),
+                mean_sort_us: st.mean_sort_us(),
+                max_shard_len: st.max_shard_len,
+                shard_sizes,
             };
             finish(
                 scheme,

@@ -8,16 +8,16 @@
 //! cargo run --example quickstart
 //! ```
 
-use threadscan::Collector;
+use threadscan::{Collector, ThreadHandle};
 use ts_sigscan::SignalPlatform;
 
-fn main() {
-    // One collector per shared data region (or per process).
-    let collector = Collector::new(SignalPlatform::new().expect("POSIX signals required"));
-
-    // Every thread that touches shared nodes registers once.
-    let handle = collector.register();
-
+/// Allocates one node, "uses" it, unlinks it, and hands it to ThreadScan.
+/// In its own function so that every private copy of the pointer (the
+/// local, the `Box` temporaries) dies with this frame: the conservative
+/// scan keeps a node alive as long as *any* registered thread's memory
+/// still holds its address — including this thread's own.
+#[inline(never)]
+fn alloc_use_and_retire(handle: &ThreadHandle<SignalPlatform>) {
     // Allocate nodes as you normally would.
     let node: *mut [u64; 8] = Box::into_raw(Box::new([7u64; 8]));
 
@@ -28,6 +28,29 @@ fn main() {
     // Hand it to ThreadScan instead of freeing. Safe even if other
     // registered threads still hold stack references.
     unsafe { handle.retire(node) };
+}
+
+/// Overwrites the dead stack region the call above just vacated. A real
+/// application doesn't do this — its ordinary call activity does it for
+/// free, and a node pinned by a stale stack slot simply survives into a
+/// later phase (see `ThreadScanSmr::quiesce`). The example scrubs
+/// explicitly so the very next phase demonstrably frees the node in both
+/// debug and release builds.
+#[inline(never)]
+fn scrub_dead_stack() {
+    let mut frame = [0usize; 1024];
+    std::hint::black_box(&mut frame);
+}
+
+fn main() {
+    // One collector per shared data region (or per process).
+    let collector = Collector::new(SignalPlatform::new().expect("POSIX signals required"));
+
+    // Every thread that touches shared nodes registers once.
+    let handle = collector.register();
+
+    alloc_use_and_retire(&handle);
+    scrub_dead_stack();
 
     // Reclamation normally triggers itself when a per-thread delete buffer
     // (default 1024 nodes) fills; force a phase to see it happen now.
@@ -39,5 +62,6 @@ fn main() {
     println!("collect phases: {}", stats.collects);
     println!("words scanned:  {}", stats.words_scanned);
     assert_eq!(stats.retired, 1);
+    assert_eq!(stats.freed, 1);
     println!("OK: node retired and reclaimed through a real signal scan");
 }

@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 pub use std::hint::black_box;
 
 /// Top-level benchmark driver (one per `criterion_group!` run).
+#[derive(Default)]
 pub struct Criterion {
     settings: Settings,
 }
@@ -51,14 +52,6 @@ impl Settings {
                 self.measurement_time.min(Duration::from_millis(200)),
                 self.warm_up_time.min(Duration::from_millis(50)),
             )
-        }
-    }
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Self {
-            settings: Settings::default(),
         }
     }
 }
