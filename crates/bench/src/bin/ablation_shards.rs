@@ -22,6 +22,7 @@ fn main() {
     let threads = args.get_usize("threads", 4);
     let shard_list = args.get_usize_list("shards", &[1, 2, 4, 8]);
     let buffer = args.get_usize("buffer", if quick { 256 } else { 1024 });
+    let sort_threads = args.get_usize("sort-threads", 0);
 
     println!(
         "# Ablation I: master-buffer shard count ({})",
@@ -41,7 +42,8 @@ fn main() {
             .scaled_down(scale)
             .with_duration(duration)
             .with_ts_buffer(buffer)
-            .with_ts_shards(shards);
+            .with_ts_shards(shards)
+            .with_ts_sort_threads(sort_threads);
         let r = run_combo(SchemeKind::ThreadScan, &params);
         let ts = r.threadscan.clone().unwrap_or_default();
         println!(

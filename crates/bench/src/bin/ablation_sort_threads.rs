@@ -1,0 +1,155 @@
+//! Ablation J: parallel shard sorts — reclaimer sort latency vs
+//! `sort_threads`.
+//!
+//! The reclaimer's critical path is dominated by sorting the aggregated
+//! delete buffer; the sharded layout (address-range buckets, each sorted
+//! independently) makes that embarrassingly parallel, and
+//! `CollectorConfig::sort_threads` hands the buckets to a persistent
+//! worker pool. This sweep isolates exactly that: it builds master
+//! buffers of controlled size directly (no workload noise) and reports
+//! `sort_ns` — the critical path the reclaimer actually waits — and
+//! `sort_cpu_ns` — the total work — for every (entries × shards ×
+//! sort_threads) cell. On a multi-core runner `sort_ns` should fall as
+//! threads increase for phases of ≥ 64k entries while `sort_cpu_ns`
+//! stays roughly flat; their ratio is the effective speedup.
+//!
+//! ```text
+//! cargo run -p ts-bench --release --bin ablation_sort_threads -- \
+//!     [--entries 65536,262144] [--shards 8,32] [--sort-threads 1,2,4,8] \
+//!     [--repeats 5] [--json out]
+//! ```
+
+use threadscan::master::MasterBuffer;
+use threadscan::pool::SortPool;
+use threadscan::retired::{noop_drop, Retired};
+use threadscan::CollectorConfig;
+use ts_bench::cli::{machine_info, CliArgs};
+use ts_workload::json::ObjectBuilder;
+
+/// Deterministic scrambled-but-distinct addresses: `i |-> bit-reverse(i)`
+/// is a permutation of `0..2^k`, so every entry address is unique (a
+/// double-retire would trip the collector's debug asserts) while arriving
+/// in an order that gives the sorts real work.
+fn entries_for(n: usize) -> Vec<Retired> {
+    // Floor of 2 keeps the bit-reverse shift below usize::BITS (n = 1
+    // would need a shift of 64, which overflows in debug builds).
+    let n = n.next_power_of_two().max(2);
+    let shift = usize::BITS - n.trailing_zeros();
+    (0..n)
+        .map(|i| {
+            let addr = 0x10_0000 + (i.reverse_bits() >> shift) * 64;
+            // SAFETY: noop_drop frees nothing; these records only feed
+            // the sort, never a real reclamation.
+            unsafe { Retired::from_raw_parts(addr, 48, noop_drop) }
+        })
+        .collect()
+}
+
+struct Cell {
+    entries: usize,
+    shards: usize,
+    sort_threads: usize,
+    /// Fastest observed critical-path sort time over the repeats (ns).
+    sort_ns: usize,
+    /// CPU total for that same fastest build (ns).
+    sort_cpu_ns: usize,
+    built_shards: usize,
+}
+
+fn measure(entries: usize, shards: usize, sort_threads: usize, repeats: usize) -> Cell {
+    // `entries_for` rounds up to a power of two (min 2); report what was
+    // actually sorted, not what was asked, so per-entry comparisons
+    // across cells stay honest.
+    let entries = entries.next_power_of_two().max(2);
+    // 0 means "collector default", matching --sort-threads on
+    // ablation_shards and --ts-sort-threads on fig4_oversub.
+    let config = CollectorConfig::default().with_shards(shards);
+    let config = if sort_threads > 0 {
+        config.with_sort_threads(sort_threads)
+    } else {
+        config
+    };
+    let sort_threads = config.sort_threads;
+    let pool = (sort_threads > 1).then(|| SortPool::new(sort_threads));
+    let mut best: Option<(usize, usize, usize)> = None;
+    for _ in 0..repeats.max(1) {
+        let master = MasterBuffer::build(entries_for(entries), &config, pool.as_ref());
+        let sample = (master.sort_ns(), master.sort_cpu_ns(), master.shard_count());
+        if best.is_none_or(|(ns, _, _)| sample.0 < ns) {
+            best = Some(sample);
+        }
+    }
+    let (sort_ns, sort_cpu_ns, built_shards) = best.expect("repeats >= 1");
+    Cell {
+        entries,
+        shards,
+        sort_threads,
+        sort_ns,
+        sort_cpu_ns,
+        built_shards,
+    }
+}
+
+fn main() {
+    let args = CliArgs::parse();
+    let quick = args.get_flag("quick");
+    let entries_list = args.get_usize_list(
+        "entries",
+        &if quick {
+            vec![16_384]
+        } else {
+            vec![65_536, 262_144]
+        },
+    );
+    let shard_list = args.get_usize_list("shards", &[8, 32]);
+    let thread_list = args.get_usize_list("sort-threads", &[1, 2, 4, 8]);
+    let repeats = args.get_usize("repeats", if quick { 2 } else { 5 });
+
+    println!(
+        "# Ablation J: parallel shard sorts ({}), best of {repeats}",
+        machine_info()
+    );
+    println!(
+        "{:>9} {:>7} {:>13} {:>12} {:>14} {:>9}",
+        "entries", "shards", "sort-threads", "sort-ms", "sort-cpu-ms", "speedup"
+    );
+
+    let mut rows: Vec<String> = Vec::new();
+    for &entries in &entries_list {
+        for &shards in &shard_list {
+            for &threads in &thread_list {
+                let cell = measure(entries, shards, threads, repeats);
+                let speedup = cell.sort_cpu_ns as f64 / cell.sort_ns.max(1) as f64;
+                println!(
+                    "{:>9} {:>7} {:>13} {:>12.3} {:>14.3} {:>8.2}x",
+                    cell.entries,
+                    cell.built_shards,
+                    cell.sort_threads,
+                    cell.sort_ns as f64 / 1e6,
+                    cell.sort_cpu_ns as f64 / 1e6,
+                    speedup,
+                );
+                rows.push(
+                    ObjectBuilder::new()
+                        .num("entries", cell.entries as f64)
+                        .num("shards", cell.shards as f64)
+                        .num("built_shards", cell.built_shards as f64)
+                        .num("sort_threads", cell.sort_threads as f64)
+                        .num("sort_ns", cell.sort_ns as f64)
+                        .num("sort_cpu_ns", cell.sort_cpu_ns as f64)
+                        .build(),
+                );
+            }
+        }
+    }
+    println!("# sort-threads=1 is the sequential (pool-free) reclaimer sort");
+
+    if let Some(path) = args.get("json") {
+        let doc = format!(
+            "{{\"experiment\":\"ablation-sort-threads\",\"rows\":[{}]}}\n",
+            rows.join(",")
+        );
+        std::fs::write(path, doc).expect("write json");
+        println!("# json written to {path}");
+    }
+}

@@ -7,13 +7,21 @@
 //! ThreadScan line with 4096-entry per-thread buffers ("ThreadScan was
 //! tuned for the hash table to improve performance").
 //!
+//! The thread ladder sweeps 1×–8× the hardware contexts, and every
+//! ThreadScan row carries reclaimer collect-latency percentiles
+//! (p50/p95/p99, from the collector's log2 latency histogram, merged
+//! across all repeats of the cell) in the JSON report — under
+//! oversubscription the *tail* is the story, not the mean.
+//!
 //! ```text
 //! cargo run -p ts-bench --release --bin fig4_oversub -- \
-//!     [--duration 2.0] [--repeats 2] [--threads ...] [--scale 1] [--json out]
+//!     [--duration 2.0] [--repeats 2] [--threads ...] [--scale 1] \
+//!     [--ts-sort-threads N] [--json out]
 //! ```
 
 use std::time::Duration;
 
+use threadscan::stats::{StatsSnapshot, HIST_BUCKETS};
 use ts_bench::cli::{machine_info, oversub_ladder, CliArgs};
 use ts_workload::{run_combo, Report, SchemeKind, StructureKind, WorkloadParams};
 
@@ -28,9 +36,13 @@ fn main() {
         "threads",
         &if quick { vec![2, 4] } else { oversub_ladder() },
     );
+    let sort_threads = args.get_usize("ts-sort-threads", 0);
 
     println!("# Figure 4: oversubscription ({})", machine_info());
-    println!("# duration={duration:?} repeats={repeats} scale=1/{scale} threads={threads:?}");
+    println!(
+        "# duration={duration:?} repeats={repeats} scale=1/{scale} threads={threads:?} \
+         ts-sort-threads={sort_threads} (0 = collector default)"
+    );
 
     let mut report = Report::new("fig4");
     for structure in StructureKind::ALL {
@@ -38,7 +50,8 @@ fn main() {
             for scheme in SchemeKind::OVERSUB {
                 let params = WorkloadParams::fig3(structure, t)
                     .scaled_down(scale)
-                    .with_duration(duration);
+                    .with_duration(duration)
+                    .with_ts_sort_threads(sort_threads);
                 run_cell(&mut report, scheme, &params, repeats, None);
 
                 // The tuned line: hash table + ThreadScan + 4096 buffers.
@@ -73,23 +86,58 @@ fn run_cell(
     rename: Option<&str>,
 ) {
     let mut acc = 0.0f64;
+    let mut hist = [0usize; HIST_BUCKETS];
     let mut last = None;
     for _ in 0..repeats {
         let r = run_combo(scheme, params);
         acc += r.ops_per_sec;
+        if let Some(ts) = &r.threadscan {
+            for (h, &c) in hist.iter_mut().zip(ts.collect_ns_hist.iter()) {
+                *h += c;
+            }
+        }
         last = Some(r);
     }
     let mut r = last.expect("repeats >= 1");
     r.ops_per_sec = acc / repeats as f64;
+    if let Some(ts) = &mut r.threadscan {
+        // Percentiles over *every* repeat's phases, matching the
+        // averaged ops/sec — a noisy final repeat must not skew the
+        // reported tail. `collects` is summed alongside so it stays
+        // equal to the histogram's total; the remaining extras
+        // (means, maxima, shard layout) still describe the last repeat.
+        let merged = StatsSnapshot {
+            collect_ns_hist: hist,
+            ..Default::default()
+        };
+        ts.collect_us_p50 = merged.collect_us_percentile(0.50);
+        ts.collect_us_p95 = merged.collect_us_percentile(0.95);
+        ts.collect_us_p99 = merged.collect_us_percentile(0.99);
+        ts.collect_ns_hist = hist.to_vec();
+        ts.collects = hist.iter().sum();
+    }
     if let Some(name) = rename {
         r.scheme = name.to_string();
     }
-    eprintln!(
-        "  {:9} {:16} t={:<4} {:>10.3} Mops/s",
-        r.structure,
-        r.scheme,
-        params.threads,
-        r.ops_per_sec / 1e6
-    );
+    match &r.threadscan {
+        Some(ts) if ts.collects > 0 => eprintln!(
+            "  {:9} {:16} t={:<4} {:>10.3} Mops/s  collect-lat µs p50/p95/p99: \
+             {:.1}/{:.1}/{:.1}",
+            r.structure,
+            r.scheme,
+            params.threads,
+            r.ops_per_sec / 1e6,
+            ts.collect_us_p50,
+            ts.collect_us_p95,
+            ts.collect_us_p99,
+        ),
+        _ => eprintln!(
+            "  {:9} {:16} t={:<4} {:>10.3} Mops/s",
+            r.structure,
+            r.scheme,
+            params.threads,
+            r.ops_per_sec / 1e6
+        ),
+    }
     report.push(r);
 }

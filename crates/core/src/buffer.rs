@@ -20,7 +20,9 @@ use crate::retired::Retired;
 /// * `drain_into` may only be called while holding the collector's reclaimer
 ///   lock (which serializes readers), or by the owner itself.
 ///
-/// Indices grow monotonically; the slot for index `i` is `i % capacity`.
+/// Indices grow monotonically and wrap around `usize`; the slot for index
+/// `i` is `i % capacity`, so the capacity is always a power of two (see
+/// [`LocalBuffer::new`]).
 pub struct LocalBuffer {
     slots: Box<[UnsafeCell<MaybeUninit<Retired>>]>,
     /// Next index to write (owner-only writes, reader loads).
@@ -36,9 +38,19 @@ unsafe impl Send for LocalBuffer {}
 unsafe impl Sync for LocalBuffer {}
 
 impl LocalBuffer {
-    /// Creates a buffer holding up to `capacity` retired nodes.
+    /// Creates a buffer holding up to `capacity` retired nodes, rounded
+    /// **up** to the next power of two.
+    ///
+    /// The rounding is load-bearing, not an optimization: head/tail are
+    /// monotonically increasing `usize` indices mapped to slots by
+    /// `i % capacity`, and that mapping is only continuous across the
+    /// `usize::MAX` wraparound when the capacity divides `usize::MAX + 1`
+    /// — i.e. when it is a power of two. A non-power-of-two capacity
+    /// would silently scramble FIFO order (and the SPSC slot-disjointness
+    /// argument) after ~2^64 pushes.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 2, "buffer capacity must be at least 2");
+        let capacity = capacity.next_power_of_two();
         let slots = (0..capacity)
             .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
             .collect::<Vec<_>>()
@@ -89,7 +101,9 @@ impl LocalBuffer {
         if head.wrapping_sub(tail) >= self.capacity() {
             return Err(record);
         }
-        let slot = &self.slots[head % self.capacity()];
+        // Power-of-two capacity (see `new`) makes the modulo a mask and
+        // keeps it continuous across usize wraparound.
+        let slot = &self.slots[head & (self.capacity() - 1)];
         // SAFETY: slot is outside [tail, head), so no reader touches it.
         unsafe { (*slot.get()).write(record) };
         self.head.store(head.wrapping_add(1), Ordering::Release);
@@ -108,7 +122,7 @@ impl LocalBuffer {
         let drained = head.wrapping_sub(tail);
         out.reserve(drained);
         while tail != head {
-            let slot = &self.slots[tail % self.capacity()];
+            let slot = &self.slots[tail & (self.capacity() - 1)];
             // SAFETY: [tail, head) slots were fully written before `head`
             // was released by the producer.
             out.push(unsafe { (*slot.get()).assume_init_read() });
@@ -210,5 +224,28 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn capacity_one_rejected() {
         let _ = LocalBuffer::new(1);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_a_power_of_two() {
+        // Regression: with a non-power-of-two capacity the `i % capacity`
+        // slot mapping is discontinuous at the usize::MAX index wrap and
+        // would corrupt FIFO order; `new` must round up.
+        assert_eq!(LocalBuffer::new(2).capacity(), 2);
+        assert_eq!(LocalBuffer::new(3).capacity(), 4);
+        assert_eq!(LocalBuffer::new(5).capacity(), 8);
+        assert_eq!(LocalBuffer::new(1000).capacity(), 1024);
+        assert_eq!(LocalBuffer::new(1024).capacity(), 1024);
+    }
+
+    #[test]
+    fn rounded_capacity_still_fills_and_drains() {
+        let buf = LocalBuffer::new(7); // rounds to 8
+        for i in 0..8 {
+            unsafe { buf.push(rec(0x100 + i * 8)).unwrap() };
+        }
+        assert!(buf.is_full());
+        let mut out = Vec::new();
+        assert_eq!(unsafe { buf.drain_into(&mut out) }, 8);
     }
 }

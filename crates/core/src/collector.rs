@@ -18,7 +18,7 @@
 
 use std::collections::VecDeque;
 use std::marker::PhantomData;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
@@ -27,6 +27,7 @@ use crate::config::CollectorConfig;
 use crate::errors::HeapBlockError;
 use crate::master::MasterBuffer;
 use crate::platform::Platform;
+use crate::pool::SortPool;
 use crate::retired::{DropFn, Retired};
 use crate::roots::ThreadRoots;
 use crate::selfscan::{capture_context, SelfScanContext};
@@ -56,6 +57,17 @@ pub struct Collector<P: Platform> {
     /// §7 distributed-free extension: reclaimable nodes awaiting a free by
     /// whichever thread next interacts with the collector.
     free_queue: Mutex<VecDeque<Retired>>,
+    /// Persistent workers for the reclaimer's parallel shard sorts,
+    /// spawned lazily by the first phase that can actually use them —
+    /// one targeting more than one shard. Never populated when
+    /// `config.sort_threads <= 1`, or while every phase stays
+    /// single-bucket: the sequential path must not touch (or create)
+    /// the pool, so single-threaded collectors keep exactly the old
+    /// behaviour with zero extra threads. The inner `Option` is `None`
+    /// when worker spawn failed: the collector then falls back to the
+    /// sequential sort permanently rather than panicking
+    /// mid-reclamation (or retrying a hopeless spawn every phase).
+    sort_pool: OnceLock<Option<SortPool>>,
     stats: CollectorStats,
 }
 
@@ -76,8 +88,29 @@ impl<P: Platform> Collector<P> {
             buffers: Mutex::new(Vec::new()),
             orphans: Mutex::new(Vec::new()),
             free_queue: Mutex::new(VecDeque::new()),
+            sort_pool: OnceLock::new(),
             stats: CollectorStats::default(),
         })
+    }
+
+    /// The worker pool for parallel shard sorts, or `None` when a phase
+    /// of `phase_len` entries cannot profitably use one — sequential
+    /// configuration, too few entries to form more than one shard or to
+    /// amortize cross-thread dispatch
+    /// ([`MIN_PARALLEL_SORT_LEN`](crate::master::MIN_PARALLEL_SORT_LEN)),
+    /// or worker spawn failed (sequential fallback). Spawns the workers
+    /// on the first phase that actually wants them (under the reclaimer
+    /// lock, so exactly once).
+    fn sort_pool(&self, phase_len: usize) -> Option<&SortPool> {
+        if self.config.sort_threads <= 1
+            || phase_len < crate::master::MIN_PARALLEL_SORT_LEN
+            || crate::master::shard_target(phase_len, &self.config) <= 1
+        {
+            return None;
+        }
+        self.sort_pool
+            .get_or_init(|| SortPool::try_new(self.config.sort_threads).ok())
+            .as_ref()
     }
 
     /// Registers the calling thread. All threads that read or mutate the
@@ -173,9 +206,12 @@ impl<P: Platform> Collector<P> {
         }
         let phase_start = std::time::Instant::now();
 
-        let master = MasterBuffer::new(entries, &self.config);
+        let pool = self.sort_pool(entries.len());
+        let master = MasterBuffer::build(entries, &self.config, pool);
         self.stats.add(&self.stats.sort_ns_total, master.sort_ns());
         self.stats.raise(&self.stats.sort_ns_max, master.sort_ns());
+        self.stats
+            .add(&self.stats.sort_cpu_ns_total, master.sort_cpu_ns());
         self.stats.record_shard_sizes(master.shard_sizes());
         let session = master.session();
         let outcome = self.platform.scan_all(&session, ctx);
@@ -207,9 +243,10 @@ impl<P: Platform> Collector<P> {
         // Reclaimer-side latency (sort + broadcast + ack wait + sweep):
         // the §7 responsiveness number, measured where the paper's future
         // work proposes to attack it.
-        let ns = phase_start.elapsed().as_nanos().min(usize::MAX as u128) as usize;
+        let ns = crate::master::elapsed_ns(phase_start);
         self.stats.add(&self.stats.collect_ns_total, ns);
         self.stats.raise(&self.stats.collect_ns_max, ns);
+        self.stats.record_collect_ns(ns);
     }
 
     /// Frees up to `max` queued nodes from the distributed-free queue.
@@ -616,6 +653,138 @@ mod tests {
             "forced flush must block for the queue and free everything"
         );
         assert_eq!(collector.pending_estimate(), 0);
+        drop(handle);
+    }
+
+    #[test]
+    fn outstanding_counts_queued_distributed_frees_like_pending_estimate() {
+        // Pins `StatsSnapshot::outstanding` semantics: nodes in the
+        // distributed-free queue are proven reclaimable but not yet
+        // freed, so both the snapshot arithmetic and `pending_estimate`
+        // must count them as outstanding.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let collector = Collector::with_config(
+            NullPlatform,
+            CollectorConfig::default()
+                .with_buffer_capacity(4)
+                .with_distributed_frees(true),
+        );
+        let handle = collector.register();
+        for _ in 0..4 {
+            unsafe { handle.retire(node(&counter)) };
+        }
+        // A phase ran; all 4 nodes sit in the free queue, destructors
+        // not yet executed.
+        assert_eq!(counter.load(Ordering::SeqCst), 0);
+        assert_eq!(collector.free_queue.lock().len(), 4);
+        assert_eq!(collector.stats().outstanding(), 4);
+        assert_eq!(collector.pending_estimate(), 4);
+        collector.collect_now(); // forced path drains the queue
+        assert_eq!(collector.stats().outstanding(), 0);
+        assert_eq!(collector.pending_estimate(), 0);
+        drop(handle);
+    }
+
+    #[test]
+    fn parallel_shard_sorts_reclaim_everything() {
+        // End-to-end through the collector: multi-shard phases sorted on
+        // the lazily spawned pool must free exactly what the sequential
+        // path frees.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let collector = Collector::with_config(
+            NullPlatform,
+            CollectorConfig::default()
+                // Phases must clear MIN_PARALLEL_SORT_LEN or the
+                // collector (correctly) sorts them inline.
+                .with_buffer_capacity(crate::master::MIN_PARALLEL_SORT_LEN)
+                .with_shards(8)
+                .with_sort_threads(4),
+        );
+        assert!(collector.sort_pool.get().is_none(), "pool spawns lazily");
+        let handle = collector.register();
+        let total = 2 * crate::master::MIN_PARALLEL_SORT_LEN;
+        for _ in 0..total {
+            unsafe { handle.retire(node(&counter)) };
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), total);
+        assert!(
+            collector.sort_pool.get().and_then(Option::as_ref).is_some(),
+            "phases used the pool"
+        );
+        let snap = collector.stats();
+        assert_eq!(snap.freed, total);
+        assert!(snap.sort_cpu_ns_total > 0, "pooled work must be counted");
+        assert!(snap.sort_ns_total > 0);
+        drop(handle);
+    }
+
+    #[test]
+    fn sequential_config_never_creates_the_pool() {
+        // `sort_threads = 1` must not touch the pool at all — that is
+        // what keeps `collect_now` safe from any signal-free context.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let collector = Collector::with_config(
+            NullPlatform,
+            CollectorConfig::default()
+                .with_buffer_capacity(64)
+                .with_shards(8)
+                .with_sort_threads(1),
+        );
+        let handle = collector.register();
+        for _ in 0..256 {
+            unsafe { handle.retire(node(&counter)) };
+        }
+        collector.collect_now();
+        assert_eq!(counter.load(Ordering::SeqCst), 256);
+        assert!(collector.sort_pool.get().is_none(), "no pool, ever");
+        drop(handle);
+    }
+
+    #[test]
+    fn single_bucket_phases_never_create_the_pool() {
+        // A parallel-sort configuration whose phases are all too small
+        // to split into multiple shards must not spawn workers: the
+        // pool would only ever sit idle.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let collector = Collector::with_config(
+            NullPlatform,
+            CollectorConfig::default()
+                .with_buffer_capacity(8) // phases far below MIN_SHARD_LEN * 2
+                .with_shards(8)
+                .with_sort_threads(4),
+        );
+        let handle = collector.register();
+        for _ in 0..64 {
+            unsafe { handle.retire(node(&counter)) };
+        }
+        collector.collect_now();
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        assert!(
+            collector.sort_pool.get().is_none(),
+            "single-bucket phases must not spawn the pool"
+        );
+        drop(handle);
+    }
+
+    #[test]
+    fn collect_latency_histogram_covers_every_phase() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let collector = Collector::with_config(
+            NullPlatform,
+            CollectorConfig::default().with_buffer_capacity(8),
+        );
+        let handle = collector.register();
+        for _ in 0..32 {
+            unsafe { handle.retire(node(&counter)) };
+        }
+        let snap = collector.stats();
+        assert!(snap.collects >= 4);
+        assert_eq!(
+            snap.collect_ns_hist.iter().sum::<usize>(),
+            snap.collects,
+            "each phase lands in exactly one latency bucket"
+        );
+        assert!(snap.collect_us_percentile(0.5) > 0.0);
         drop(handle);
     }
 

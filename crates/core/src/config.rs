@@ -24,8 +24,11 @@ pub enum MatchMode {
 /// Tuning knobs for a [`crate::Collector`].
 #[derive(Clone, Debug)]
 pub struct CollectorConfig {
-    /// Capacity of each per-thread delete buffer, in retired nodes.
-    /// Paper default: 1024 ("configured to store up to 1024 pointers per
+    /// Capacity of each per-thread delete buffer, in retired nodes,
+    /// rounded **up** to the next power of two at buffer creation (the
+    /// SPSC ring's index arithmetic requires it; see
+    /// [`LocalBuffer::new`](crate::buffer::LocalBuffer::new)). Paper
+    /// default: 1024 ("configured to store up to 1024 pointers per
     /// thread"); Figure 4's tuned hash-table line uses 4096.
     pub buffer_capacity: usize,
     /// Word-matching strategy for the conservative scan.
@@ -55,6 +58,19 @@ pub struct CollectorConfig {
     /// sorted delete buffer exactly; the default scales with available
     /// parallelism. Small phases use fewer shards automatically.
     pub shards: usize,
+    /// Number of threads the reclaimer uses to sort the master buffer's
+    /// address-range shards. `1` reproduces the sequential sort exactly
+    /// and never creates (or touches) the worker pool, so forced collects
+    /// from signal-free contexts stay deadlock-safe by construction. With
+    /// more than one, the collector lazily spawns a persistent
+    /// [`SortPool`](crate::pool::SortPool) of this many workers on the
+    /// first reclamation phase that can profitably use it — one
+    /// targeting more than one shard with at least a few thousand
+    /// entries (smaller phases sort inline: cross-thread dispatch would
+    /// cost more than the sort). Defaults to
+    /// `min(shards, available_parallelism)` — more sorters than shards
+    /// (or than cores) cannot shorten the critical path.
+    pub sort_threads: usize,
 }
 
 /// Default shard count: the number of hardware threads, rounded up to a
@@ -69,8 +85,19 @@ fn default_shards() -> usize {
         .min(64)
 }
 
+/// Default sort-thread count: one sorter per shard, but never more than
+/// the hardware can run concurrently (extra sorters would only queue).
+fn default_sort_threads(shards: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(shards)
+        .max(1)
+}
+
 impl Default for CollectorConfig {
     fn default() -> Self {
+        let shards = default_shards();
         Self {
             buffer_capacity: 1024,
             match_mode: MatchMode::Range,
@@ -78,7 +105,8 @@ impl Default for CollectorConfig {
             distribute_frees: false,
             distributed_free_batch: 64,
             max_heap_blocks: 16,
-            shards: default_shards(),
+            shards,
+            sort_threads: default_sort_threads(shards),
         }
     }
 }
@@ -99,7 +127,8 @@ impl CollectorConfig {
         }
     }
 
-    /// Builder-style override of the buffer capacity.
+    /// Builder-style override of the buffer capacity. Non-power-of-two
+    /// values are rounded up when each buffer is created.
     pub fn with_buffer_capacity(mut self, cap: usize) -> Self {
         assert!(cap >= 2, "buffer capacity must be at least 2");
         self.buffer_capacity = cap;
@@ -120,12 +149,29 @@ impl CollectorConfig {
 
     /// Builder-style override of the master-buffer shard count.
     /// `1` restores the original single-sorted-array behavior.
+    ///
+    /// Also clamps `sort_threads` down to the new shard count (more
+    /// sorters than shards can only idle); call
+    /// [`Self::with_sort_threads`] *after* this to set an explicit
+    /// sort-thread count.
     pub fn with_shards(mut self, shards: usize) -> Self {
         assert!(
             (1..=4096).contains(&shards),
             "shard count must be in 1..=4096"
         );
         self.shards = shards;
+        self.sort_threads = self.sort_threads.min(shards);
+        self
+    }
+
+    /// Builder-style override of the reclaimer's sort-thread count.
+    /// `1` restores the sequential (pool-free) sort exactly.
+    pub fn with_sort_threads(mut self, sort_threads: usize) -> Self {
+        assert!(
+            (1..=256).contains(&sort_threads),
+            "sort_threads must be in 1..=256"
+        );
+        self.sort_threads = sort_threads;
         self
     }
 }
@@ -142,12 +188,50 @@ mod tests {
         assert!(!cfg.distribute_frees);
         assert!(cfg.shards >= 1, "default shards derive from parallelism");
         assert!(cfg.shards <= 64);
+        assert!(cfg.sort_threads >= 1, "sort_threads defaults to >= 1");
+        assert!(
+            cfg.sort_threads <= cfg.shards,
+            "more sorters than shards cannot help"
+        );
+    }
+
+    #[test]
+    fn sort_threads_builder_round_trips() {
+        assert_eq!(
+            CollectorConfig::default().with_sort_threads(1).sort_threads,
+            1
+        );
+        assert_eq!(
+            CollectorConfig::default().with_sort_threads(8).sort_threads,
+            8
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=256")]
+    fn zero_sort_threads_rejected() {
+        let _ = CollectorConfig::default().with_sort_threads(0);
     }
 
     #[test]
     fn shard_builder_round_trips() {
         assert_eq!(CollectorConfig::default().with_shards(1).shards, 1);
         assert_eq!(CollectorConfig::default().with_shards(8).shards, 8);
+    }
+
+    #[test]
+    fn with_shards_clamps_sort_threads_down() {
+        // The sort_threads <= shards invariant must survive a shards
+        // override, not just the all-default construction.
+        let cfg = CollectorConfig::default()
+            .with_sort_threads(16)
+            .with_shards(2);
+        assert_eq!(cfg.sort_threads, 2);
+        // An explicit request *after* with_shards wins.
+        let cfg = CollectorConfig::default()
+            .with_shards(2)
+            .with_sort_threads(8);
+        assert_eq!(cfg.sort_threads, 8);
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod config;
 pub mod errors;
 pub mod master;
 pub mod platform;
+pub mod pool;
 pub mod retired;
 pub mod roots;
 pub mod scan;
@@ -62,6 +63,7 @@ pub use collector::{Collector, ThreadHandle};
 pub use config::{CollectorConfig, MatchMode};
 pub use errors::HeapBlockError;
 pub use platform::{NullPlatform, Platform, ScanOutcome};
+pub use pool::SortPool;
 pub use retired::{DropFn, Retired};
 pub use roots::ThreadRoots;
 pub use selfscan::{capture_context, SelfScanContext};

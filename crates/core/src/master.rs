@@ -18,6 +18,7 @@
 use core::sync::atomic::{AtomicU8, Ordering};
 
 use crate::config::{CollectorConfig, MatchMode};
+use crate::pool::SortPool;
 use crate::retired::Retired;
 use crate::session::{ScanSession, ShardView};
 
@@ -25,6 +26,14 @@ use crate::session::{ScanSession, ShardView};
 /// overhead outweighs the smaller per-shard searches, so the builder uses
 /// fewer shards than configured.
 const MIN_SHARD_LEN: usize = 16;
+
+/// Minimum phase size worth engaging the worker pool for: below this,
+/// per-bucket dispatch (boxed closure, queue mutex, channel round-trip —
+/// microseconds) rivals or exceeds the sort work itself (tens of
+/// nanoseconds per entry), and the pooled path would *inflate* the very
+/// collect latency it exists to cut. The collector sorts smaller phases
+/// inline regardless of `sort_threads`.
+pub(crate) const MIN_PARALLEL_SORT_LEN: usize = 4096;
 
 /// One address-contiguous shard: entries sorted ascending by address, with
 /// the search-key / end / mark arrays kept separate for cache-dense binary
@@ -72,8 +81,15 @@ pub struct MasterBuffer {
     offsets: Vec<usize>,
     mode: MatchMode,
     low_bit_mask: usize,
-    /// Wall time spent partitioning and sorting, in nanoseconds.
+    /// Wall time spent partitioning and sorting, in nanoseconds. With a
+    /// [`SortPool`] this is the *critical path* — the span from the first
+    /// bucket dispatched to the last shard received.
     sort_ns: usize,
+    /// Total CPU time spent inside per-shard sort-and-build work, summed
+    /// over all sorting threads, in nanoseconds. Equals roughly `sort_ns`
+    /// for a sequential build; the gap between `sort_cpu_ns` and
+    /// `sort_ns` is what parallel sorting bought.
+    sort_cpu_ns: usize,
 }
 
 /// Whether an (already non-decreasing) key sequence has no duplicates,
@@ -99,12 +115,56 @@ fn select_pivots(entries: &[Retired], shards: usize) -> Vec<usize> {
         .collect()
 }
 
+/// Number of shards [`MasterBuffer::build`] will target for a phase of
+/// `len` entries: the configured count, but never so many that shards
+/// drop below [`MIN_SHARD_LEN`] entries. The collector consults this
+/// before a phase to decide whether a [`SortPool`] is worth creating —
+/// a single-bucket phase cannot use one.
+pub(crate) fn shard_target(len: usize, config: &CollectorConfig) -> usize {
+    config.shards.max(1).min((len / MIN_SHARD_LEN).max(1))
+}
+
+/// Nanoseconds elapsed since `start`, clamped into a `usize`.
+pub(crate) fn elapsed_ns(start: std::time::Instant) -> usize {
+    start.elapsed().as_nanos().min(usize::MAX as u128) as usize
+}
+
+/// Sorts one address-range bucket and builds its shard, returning the
+/// shard plus the CPU nanoseconds the work took. The unit both the
+/// sequential loop and the pooled tasks execute — parallelism changes
+/// scheduling, never the per-bucket computation.
+fn sort_bucket(mut bucket: Vec<Retired>, key_mask: usize) -> (Shard, usize) {
+    let start = std::time::Instant::now();
+    // Each bucket covers a disjoint address range, so the locally sorted
+    // shards concatenate globally sorted.
+    bucket.sort_unstable_by_key(Retired::addr);
+    let shard = Shard::from_sorted(bucket, key_mask);
+    let ns = elapsed_ns(start);
+    (shard, ns)
+}
+
 impl MasterBuffer {
-    /// Partitions `entries` by address into shards and sorts each shard.
+    /// Partitions `entries` by address into shards and sorts each shard
+    /// sequentially, on the calling thread. Equivalent to
+    /// [`Self::build`] with no pool.
     ///
     /// Duplicate addresses indicate a double `retire` in application code;
     /// this is rejected in debug builds.
     pub fn new(entries: Vec<Retired>, config: &CollectorConfig) -> Self {
+        Self::build(entries, config, None)
+    }
+
+    /// Partitions `entries` by address into shards and sorts each shard,
+    /// spreading the per-shard sorts over `pool`'s workers when one is
+    /// given.
+    ///
+    /// The pooled build is deterministic: buckets are reassembled in
+    /// address order regardless of which worker finished first, so the
+    /// result is bit-for-bit the sequential build's. With `pool` `None`
+    /// (or a single bucket) nothing outside the calling thread is
+    /// touched — that is the path a `sort_threads = 1` collector always
+    /// takes, keeping forced collects safe to run from any context.
+    pub fn build(entries: Vec<Retired>, config: &CollectorConfig, pool: Option<&SortPool>) -> Self {
         let start = std::time::Instant::now();
         // In Exact mode both the buffer keys and the probe words are
         // masked, so a node retired at a tagged/unaligned address still
@@ -123,31 +183,48 @@ impl MasterBuffer {
             MatchMode::Range => usize::MAX,
             MatchMode::Exact => !config.low_bit_mask,
         };
-        let shard_target = config
-            .shards
-            .max(1)
-            .min((entries.len() / MIN_SHARD_LEN).max(1));
+        let shard_target = shard_target(entries.len(), config);
 
-        let shards: Vec<Shard> = if shard_target <= 1 {
-            let mut entries = entries;
-            entries.sort_unstable_by_key(Retired::addr);
-            vec![Shard::from_sorted(entries, key_mask)]
+        let (shards, sort_cpu_ns): (Vec<Shard>, usize) = if shard_target <= 1 {
+            let (shard, ns) = sort_bucket(entries, key_mask);
+            (vec![shard], ns)
         } else {
             let pivots = select_pivots(&entries, shard_target);
             let mut buckets: Vec<Vec<Retired>> = (0..shard_target).map(|_| Vec::new()).collect();
             for e in entries {
                 buckets[pivots.partition_point(|&p| p <= e.addr())].push(e);
             }
-            buckets
-                .into_iter()
-                .filter(|b| !b.is_empty())
-                .map(|mut bucket| {
-                    // Each bucket covers a disjoint address range, so the
-                    // locally sorted shards concatenate globally sorted.
-                    bucket.sort_unstable_by_key(Retired::addr);
-                    Shard::from_sorted(bucket, key_mask)
-                })
-                .collect()
+            buckets.retain(|b| !b.is_empty());
+            match pool {
+                // One occupied bucket sorts as fast inline as on a worker.
+                Some(pool) if buckets.len() > 1 => {
+                    let tasks: Vec<Box<dyn FnOnce() -> (Shard, usize) + Send>> = buckets
+                        .into_iter()
+                        .map(|bucket| {
+                            Box::new(move || sort_bucket(bucket, key_mask))
+                                as Box<dyn FnOnce() -> (Shard, usize) + Send>
+                        })
+                        .collect();
+                    // `run` preserves task order, and the buckets were
+                    // produced in address order: the concatenation is
+                    // globally sorted exactly as in the sequential branch.
+                    let results = pool.run(tasks);
+                    let cpu = results.iter().map(|(_, ns)| ns).sum();
+                    (results.into_iter().map(|(s, _)| s).collect(), cpu)
+                }
+                _ => {
+                    let mut cpu = 0usize;
+                    let shards = buckets
+                        .into_iter()
+                        .map(|bucket| {
+                            let (shard, ns) = sort_bucket(bucket, key_mask);
+                            cpu += ns;
+                            shard
+                        })
+                        .collect();
+                    (shards, cpu)
+                }
+            }
         };
 
         debug_assert!(
@@ -179,7 +256,7 @@ impl MasterBuffer {
             offsets.push(total);
         }
         let fences: Vec<usize> = shards.iter().skip(1).map(|s| s.addrs[0]).collect();
-        let sort_ns = start.elapsed().as_nanos().min(usize::MAX as u128) as usize;
+        let sort_ns = elapsed_ns(start);
 
         Self {
             shards,
@@ -188,6 +265,7 @@ impl MasterBuffer {
             mode: config.match_mode,
             low_bit_mask: config.low_bit_mask,
             sort_ns,
+            sort_cpu_ns,
         }
     }
 
@@ -211,9 +289,16 @@ impl MasterBuffer {
         self.shards.iter().map(|s| s.entries.len()).collect()
     }
 
-    /// Nanoseconds spent partitioning and sorting in [`Self::new`].
+    /// Nanoseconds spent partitioning and sorting in [`Self::build`] —
+    /// the reclaimer-observed critical path when a pool was used.
     pub fn sort_ns(&self) -> usize {
         self.sort_ns
+    }
+
+    /// Total CPU nanoseconds spent in per-shard sort-and-build work,
+    /// summed across all threads that participated.
+    pub fn sort_cpu_ns(&self) -> usize {
+        self.sort_cpu_ns
     }
 
     /// Creates the signal-handler-facing view of this buffer.
@@ -390,6 +475,25 @@ mod tests {
         let config = CollectorConfig::default().with_match_mode(MatchMode::Exact);
         // 0x1001 and 0x1004 share masked key 0x1000 under the 0b111 mask.
         let _ = MasterBuffer::new(vec![rec(0x1001, 2), rec(0x1004, 2)], &config);
+    }
+
+    #[test]
+    fn pooled_build_is_bit_for_bit_the_sequential_build() {
+        use crate::pool::SortPool;
+        let pool = SortPool::new(3);
+        // Scrambled addresses across a wide range so multiple buckets form.
+        let nodes: Vec<usize> = (0..512).map(|i| 0x4000 + (i * 7919 % 512) * 64).collect();
+        let mk = |addrs: &[usize]| -> Vec<Retired> { addrs.iter().map(|&a| rec(a, 32)).collect() };
+        let config = cfg_sharded(8);
+        let seq = MasterBuffer::new(mk(&nodes), &config);
+        let par = MasterBuffer::build(mk(&nodes), &config, Some(&pool));
+        assert!(seq.shard_count() > 1, "must exercise multiple buckets");
+        assert_eq!(seq.shard_sizes(), par.shard_sizes());
+        let addrs =
+            |mb: &MasterBuffer| -> Vec<usize> { mb.entries().iter().map(|e| e.addr()).collect() };
+        assert_eq!(addrs(&seq), addrs(&par));
+        assert!(par.sort_cpu_ns() > 0, "per-shard work must be accounted");
+        assert!(seq.sort_cpu_ns() > 0);
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! A small scoped worker pool for the reclaimer's shard sorts.
+//!
+//! The paper's §7 future work singles out reclaimer-side latency as the
+//! cost to attack. The sharded master buffer (PR 2) made the per-phase
+//! sort embarrassingly parallel — each address-range bucket sorts
+//! independently — and this pool supplies the threads to exploit that:
+//! a handful of persistent workers, owned by the
+//! [`Collector`](crate::Collector) and handed to
+//! [`MasterBuffer::build`](crate::master::MasterBuffer::build).
+//!
+//! Deliberately minimal (std threads, a mutex, a condvar — no external
+//! dependencies): tasks are closures pushed to a shared queue; a batch
+//! submitter blocks until all of its tasks report back through a channel.
+//! Pool workers never register with the collector's
+//! [`Platform`](crate::Platform), so they are never signaled, never
+//! scanned, and never
+//! interact with the reclaimer lock — a reclaimer waiting for its sort
+//! batch cannot deadlock against its own collect.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A queued unit of work.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Queue state shared between submitters and workers.
+struct PoolState {
+    queue: VecDeque<Task>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Signaled when a task is queued or shutdown is requested.
+    available: Condvar,
+}
+
+/// A fixed-size pool of persistent worker threads executing queued
+/// closures.
+///
+/// Workers are spawned once, at construction, and parked on a condvar
+/// between batches — a reclamation phase pays a wakeup, not a
+/// `thread::spawn`, per shard. Dropping the pool signals shutdown and
+/// joins every worker (queued tasks still run first).
+pub struct SortPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SortPool {
+    /// Spawns a pool of `workers` persistent threads (at least 1),
+    /// panicking if the OS refuses. Use [`Self::try_new`] where a
+    /// graceful fallback exists.
+    pub fn new(workers: usize) -> Self {
+        Self::try_new(workers).expect("failed to spawn sort worker")
+    }
+
+    /// Spawns a pool of `workers` persistent threads (at least 1),
+    /// returning the OS error if any spawn fails (thread limits are real
+    /// under heavy oversubscription — the caller can fall back to the
+    /// sequential sort instead of panicking mid-reclamation). Workers
+    /// spawned before the failure are shut down and joined.
+    pub fn try_new(workers: usize) -> std::io::Result<Self> {
+        assert!(workers >= 1, "a pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        // Build incrementally so an error drops `pool`, whose Drop joins
+        // whatever already spawned.
+        let mut pool = Self {
+            shared,
+            workers: Vec::with_capacity(workers),
+        };
+        for i in 0..workers {
+            let shared = Arc::clone(&pool.shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("ts-sort-{i}"))
+                .spawn(move || worker_loop(&shared))?;
+            pool.workers.push(handle);
+        }
+        Ok(pool)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues one fire-and-forget task.
+    pub fn execute(&self, task: impl FnOnce() + Send + 'static) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.queue.push_back(Box::new(task));
+        drop(state);
+        self.shared.available.notify_one();
+    }
+
+    /// Runs every task on the pool and returns their results **in task
+    /// order**, blocking the caller until the whole batch is done.
+    ///
+    /// The calling thread only waits — it executes no tasks itself — so a
+    /// batch's critical path is `ceil(tasks / workers)` rounds of the
+    /// slowest task. Panics if any task panicked (the worker itself
+    /// survives for later batches).
+    pub fn run<T: Send + 'static>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<T> {
+        let n = tasks.len();
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        for (i, task) in tasks.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.execute(move || {
+                // A send can only fail if the submitter gave up, which it
+                // never does below; ignore the error to keep workers alive.
+                let _ = tx.send((i, task()));
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        while let Ok((i, value)) = rx.recv() {
+            out[i] = Some(value);
+        }
+        // recv() errors out once every sender is gone; a missing slot
+        // means a task's closure panicked before sending.
+        out.into_iter()
+            .map(|slot| slot.expect("a pooled sort task panicked"))
+            .collect()
+    }
+}
+
+impl Drop for SortPool {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(task) = state.queue.pop_front() {
+                    break task;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.available.wait(state).unwrap();
+            }
+        };
+        // Contain a panicking task to that task: `run` detects the missing
+        // result; the worker stays available for the next batch.
+        let _ = catch_unwind(AssertUnwindSafe(task));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_returns_results_in_task_order() {
+        let pool = SortPool::new(3);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..17usize)
+            .map(|i| {
+                Box::new(move || {
+                    // Stagger so completion order differs from task order.
+                    std::thread::sleep(std::time::Duration::from_millis(((17 - i) % 5) as u64));
+                    i * i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let results = pool.run(tasks);
+        let expect: Vec<usize> = (0..17).map(|i| i * i).collect();
+        assert_eq!(results, expect);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = SortPool::new(2);
+        for round in 0..5 {
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..4)
+                .map(|i| Box::new(move || round * 10 + i) as Box<dyn FnOnce() -> usize + Send>)
+                .collect();
+            assert_eq!(
+                pool.run(tasks),
+                vec![round * 10, round * 10 + 1, round * 10 + 2, round * 10 + 3]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_completes_immediately() {
+        let pool = SortPool::new(1);
+        let none: Vec<Box<dyn FnOnce() -> usize + Send>> = Vec::new();
+        assert!(pool.run(none).is_empty());
+    }
+
+    #[test]
+    fn drop_joins_after_queued_tasks_finish() {
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = SortPool::new(2);
+            for _ in 0..8 {
+                let done = Arc::clone(&done);
+                pool.execute(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // drop: shutdown only takes effect once the queue is empty
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn panicking_task_fails_the_batch_but_not_the_pool() {
+        let pool = SortPool::new(2);
+        let bad: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            vec![Box::new(|| panic!("boom")), Box::new(|| 7)];
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| pool.run(bad)));
+        assert!(result.is_err(), "batch with a panicking task must fail");
+        // The worker that caught the panic still serves later batches.
+        let ok: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            vec![Box::new(|| 1), Box::new(|| 2), Box::new(|| 3)];
+        assert_eq!(pool.run(ok), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = SortPool::new(0);
+    }
+}

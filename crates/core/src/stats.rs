@@ -39,15 +39,38 @@ pub struct CollectorStats {
     pub collect_ns_max: AtomicUsize,
     /// Nanoseconds spent partitioning and sorting the sharded master
     /// buffer, summed over phases — the component of reclaimer latency
-    /// the sharded layout attacks directly.
+    /// the sharded layout attacks directly. Measures the reclaimer's
+    /// *critical path*: with parallel shard sorts this is the span from
+    /// dispatch to the last shard's completion, not the work done.
     pub sort_ns_total: AtomicUsize,
-    /// Longest single partition-and-sort, in nanoseconds.
+    /// Longest single partition-and-sort, in nanoseconds (critical path).
     pub sort_ns_max: AtomicUsize,
+    /// CPU nanoseconds spent inside per-shard sort-and-build work, summed
+    /// over phases *and* over every thread that sorted. Compare with
+    /// [`Self::sort_ns_total`]: the ratio is the sort's effective
+    /// parallel speedup.
+    pub sort_cpu_ns_total: AtomicUsize,
     /// Largest single master-buffer shard seen in any phase (entries).
     pub max_shard_len: AtomicUsize,
+    /// Log2-bucketed histogram of per-phase collect latency:
+    /// `collect_ns_hist[i]` counts phases whose reclaimer-side latency
+    /// was in `[2^i, 2^(i+1))` nanoseconds (the last bucket saturates).
+    /// Coarse on purpose — one relaxed increment per phase keeps it off
+    /// any hot path while still supporting p50/p95/p99 estimates
+    /// ([`StatsSnapshot::collect_us_percentile`]).
+    pub collect_ns_hist: [AtomicUsize; HIST_BUCKETS],
     /// Per-shard entry counts of the most recent reclamation phase
     /// (not part of the `Copy` snapshot; see [`Self::last_shard_sizes`]).
     last_shard_sizes: Mutex<Vec<usize>>,
+}
+
+/// Number of log2 latency-histogram buckets. 32 buckets span 1 ns to
+/// ~4.3 s; anything slower saturates into the last bucket.
+pub const HIST_BUCKETS: usize = 32;
+
+/// Histogram bucket index for a latency of `ns` nanoseconds.
+fn hist_bucket(ns: usize) -> usize {
+    (usize::BITS - 1 - ns.max(1).leading_zeros()).min(HIST_BUCKETS as u32 - 1) as usize
 }
 
 /// A point-in-time copy of [`CollectorStats`].
@@ -67,7 +90,9 @@ pub struct StatsSnapshot {
     pub collect_ns_max: usize,
     pub sort_ns_total: usize,
     pub sort_ns_max: usize,
+    pub sort_cpu_ns_total: usize,
     pub max_shard_len: usize,
+    pub collect_ns_hist: [usize; HIST_BUCKETS],
 }
 
 impl CollectorStats {
@@ -87,8 +112,17 @@ impl CollectorStats {
             collect_ns_max: self.collect_ns_max.load(Ordering::Relaxed),
             sort_ns_total: self.sort_ns_total.load(Ordering::Relaxed),
             sort_ns_max: self.sort_ns_max.load(Ordering::Relaxed),
+            sort_cpu_ns_total: self.sort_cpu_ns_total.load(Ordering::Relaxed),
             max_shard_len: self.max_shard_len.load(Ordering::Relaxed),
+            collect_ns_hist: core::array::from_fn(|i| {
+                self.collect_ns_hist[i].load(Ordering::Relaxed)
+            }),
         }
+    }
+
+    /// Records one phase's reclaimer-side latency into the histogram.
+    pub(crate) fn record_collect_ns(&self, ns: usize) {
+        self.collect_ns_hist[hist_bucket(ns)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Per-shard entry counts of the most recent reclamation phase (empty
@@ -124,8 +158,13 @@ impl CollectorStats {
 }
 
 impl StatsSnapshot {
-    /// Nodes still tracked: retired but neither freed nor currently queued
-    /// for distributed freeing.
+    /// Nodes still tracked: retired but not yet freed. This *includes*
+    /// nodes sitting in the distributed-free queue (proven reclaimable
+    /// but whose destructor has not run) — `freed` only counts completed
+    /// destructors, so `retired - freed` counts the queue as
+    /// outstanding, exactly like
+    /// [`Collector::pending_estimate`](crate::Collector::pending_estimate)
+    /// does.
     pub fn outstanding(&self) -> usize {
         self.retired.saturating_sub(self.freed)
     }
@@ -157,12 +196,45 @@ impl StatsSnapshot {
 
     /// Mean per-phase partition-and-sort time in microseconds — the share
     /// of [`Self::mean_collect_us`] the sharded master buffer targets.
+    /// Critical-path time: see [`CollectorStats::sort_ns_total`].
     pub fn mean_sort_us(&self) -> f64 {
         if self.collects == 0 {
             0.0
         } else {
             self.sort_ns_total as f64 / self.collects as f64 / 1e3
         }
+    }
+
+    /// Mean per-phase sort *CPU* time in microseconds, summed across
+    /// sorting threads. `mean_sort_cpu_us / mean_sort_us` is the
+    /// effective speedup the parallel shard sorts achieved.
+    pub fn mean_sort_cpu_us(&self) -> f64 {
+        if self.collects == 0 {
+            0.0
+        } else {
+            self.sort_cpu_ns_total as f64 / self.collects as f64 / 1e3
+        }
+    }
+
+    /// Approximate collect-latency percentile in microseconds, from the
+    /// log2 histogram: the smallest bucket upper bound below which at
+    /// least `q` (in `0.0..=1.0`) of all phases completed. Zero when no
+    /// phase has run. Coarse by design — buckets are powers of two, so
+    /// the value is an upper bound within a factor of two.
+    pub fn collect_us_percentile(&self, q: f64) -> f64 {
+        let total: usize = self.collect_ns_hist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as usize;
+        let mut seen = 0usize;
+        for (i, &count) in self.collect_ns_hist.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return 2f64.powi(i as i32 + 1) / 1e3;
+            }
+        }
+        2f64.powi(self.collect_ns_hist.len() as i32) / 1e3
     }
 }
 
@@ -227,6 +299,53 @@ mod tests {
         stats.add(&stats.sort_ns_total, 6_000);
         assert_eq!(stats.snapshot().mean_sort_us(), 3.0);
         assert_eq!(StatsSnapshot::default().mean_sort_us(), 0.0);
+    }
+
+    #[test]
+    fn sort_cpu_mean_amortizes_like_sort_mean() {
+        let stats = CollectorStats::default();
+        stats.add(&stats.collects, 2);
+        stats.add(&stats.sort_ns_total, 4_000);
+        stats.add(&stats.sort_cpu_ns_total, 12_000);
+        let snap = stats.snapshot();
+        assert_eq!(snap.mean_sort_us(), 2.0);
+        assert_eq!(snap.mean_sort_cpu_us(), 6.0);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_by_log2() {
+        let stats = CollectorStats::default();
+        stats.record_collect_ns(0); // clamps to bucket 0
+        stats.record_collect_ns(1);
+        stats.record_collect_ns(1023); // [512, 1024) -> bucket 9
+        stats.record_collect_ns(1024); // bucket 10
+        stats.record_collect_ns(usize::MAX); // saturates into the last bucket
+        let snap = stats.snapshot();
+        assert_eq!(snap.collect_ns_hist[0], 2);
+        assert_eq!(snap.collect_ns_hist[9], 1);
+        assert_eq!(snap.collect_ns_hist[10], 1);
+        assert_eq!(snap.collect_ns_hist[HIST_BUCKETS - 1], 1);
+        assert_eq!(snap.collect_ns_hist.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn percentiles_walk_the_histogram() {
+        let stats = CollectorStats::default();
+        // 90 fast phases (~1 µs), 10 slow ones (~1 ms).
+        for _ in 0..90 {
+            stats.record_collect_ns(1_000); // bucket 9, upper bound 1024 ns
+        }
+        for _ in 0..10 {
+            stats.record_collect_ns(1_000_000); // bucket 19
+        }
+        let snap = stats.snapshot();
+        let p50 = snap.collect_us_percentile(0.50);
+        let p95 = snap.collect_us_percentile(0.95);
+        let p99 = snap.collect_us_percentile(0.99);
+        assert_eq!(p50, 1.024, "p50 lands in the fast bucket");
+        assert_eq!(p95, 1048.576, "p95 lands in the slow bucket");
+        assert!(p50 <= p95 && p95 <= p99, "percentiles are monotone");
+        assert_eq!(StatsSnapshot::default().collect_us_percentile(0.99), 0.0);
     }
 
     #[test]

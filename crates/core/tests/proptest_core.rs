@@ -35,6 +35,11 @@ proptest! {
         ),
     ) {
         let buf = LocalBuffer::new(cap);
+        // The ring rounds the requested capacity up to a power of two
+        // (wrap-safe `i % capacity` mapping); the model is a queue
+        // bounded by the *effective* capacity.
+        let cap = buf.capacity();
+        prop_assert!(cap.is_power_of_two());
         let mut model: VecDeque<usize> = VecDeque::new();
         let mut out = Vec::new();
         for op in ops {

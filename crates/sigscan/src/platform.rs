@@ -355,16 +355,33 @@ mod tests {
     /// reference pins the node; the reclaimer must observe the mark set by
     /// that thread's signal handler. No asserts run between barrier
     /// points (a panic would strand the peer); outcomes are collected and
-    /// checked after the scope ends.
+    /// checked after all rounds end.
+    ///
+    /// The protocol runs several rounds with fresh nodes. The pinning
+    /// direction is deterministic and must hold in *every* round. The
+    /// release direction ("freed once the peer lets go") is only
+    /// *usually* true under conservative scanning: a stale word in a
+    /// glibc-cached thread stack or spilled register is
+    /// indistinguishable from a live reference and can pin one
+    /// particular address forever (see
+    /// `unreferenced_node_is_eventually_reclaimed`). A stale alias can
+    /// shadow at most the single address it happens to contain — rounds
+    /// keep their failed predecessors' nodes outstanding, so every round
+    /// retires a distinct address — and hence most rounds must reclaim.
     #[test]
     fn other_threads_reference_is_detected_via_signal() {
-        use std::sync::atomic::{AtomicBool, AtomicUsize};
+        use std::sync::atomic::AtomicUsize;
         use std::sync::Barrier;
-        static DROPS2: AtomicUsize = AtomicUsize::new(0);
-        struct Node(#[allow(dead_code)] [u64; 16]);
+        /// Reports its drop through a per-round counter, so a prior
+        /// round's stale-pinned node freed by a *later* round's flushes
+        /// cannot be mistaken for that round's own node dropping.
+        struct Node {
+            drops: Arc<AtomicUsize>,
+            payload: [u64; 16],
+        }
         impl Drop for Node {
             fn drop(&mut self) {
-                DROPS2.fetch_add(1, Ordering::SeqCst);
+                self.drops.fetch_add(1, Ordering::SeqCst);
             }
         }
 
@@ -377,7 +394,7 @@ mod tests {
             let held = std::hint::black_box(slot.load(Ordering::SeqCst) as *const Node);
             barrier.wait(); // (1) holding
             barrier.wait(); // (2) reclaimer's pinned round done
-            std::hint::black_box(unsafe { (*held).0[0] });
+            std::hint::black_box(unsafe { (*held).payload[0] });
         }
 
         /// Main helper: allocates and retires in a dying frame so the main
@@ -387,67 +404,92 @@ mod tests {
             handle: &threadscan::ThreadHandle<SignalPlatform>,
             slot: &AtomicUsize,
             peer_has_it: &Barrier,
+            drops: &Arc<AtomicUsize>,
         ) {
-            let p = Box::into_raw(Box::new(Node([9; 16])));
+            let p = Box::into_raw(Box::new(Node {
+                drops: Arc::clone(drops),
+                payload: [9; 16],
+            }));
             slot.store(p as usize, Ordering::SeqCst);
             peer_has_it.wait(); // (0) peer picked it up
             unsafe { handle.retire(p) };
         }
 
+        /// One full hold/release round; returns (pinned, freed).
+        fn run_round(
+            collector: &Arc<Collector<SignalPlatform>>,
+            handle: &threadscan::ThreadHandle<SignalPlatform>,
+        ) -> (bool, bool) {
+            // Heap-based slot: its value (the raw address) must not live
+            // in any scanned stack frame, or it would pin the node
+            // itself.
+            let slot = Arc::new(AtomicUsize::new(0));
+            let barrier = Barrier::new(2);
+            let drops = Arc::new(AtomicUsize::new(0));
+            let mut pinned = false;
+            let mut freed = false;
+
+            std::thread::scope(|s| {
+                let collector2 = Arc::clone(collector);
+                let barrier2 = &barrier;
+                let slot2 = Arc::clone(&slot);
+                s.spawn(move || {
+                    let handle = collector2.register();
+                    hold_reference(&slot2, barrier2); // holds across (0)-(2)
+                    std::hint::black_box(churn(64)); // scrub stale slots
+                    barrier2.wait(); // (3) released
+                    barrier2.wait(); // (4) reclaimer done
+                    drop(handle);
+                });
+
+                make_and_retire(handle, &slot, &barrier, &drops); // passes (0)
+                std::hint::black_box(churn(64)); // scrub our own stale slots
+                barrier.wait(); // (1) peer is holding
+                handle.flush();
+                handle.flush();
+                pinned = drops.load(Ordering::SeqCst) == 0;
+                barrier.wait(); // (2) let the peer release
+                barrier.wait(); // (3) peer released + churned
+                for _ in 0..256 {
+                    std::hint::black_box(churn(64));
+                    handle.flush();
+                    if drops.load(Ordering::SeqCst) > 0 {
+                        freed = true;
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                barrier.wait(); // (4)
+            });
+            (pinned, freed)
+        }
+
+        // One collector across rounds: a round whose node stays pinned by
+        // stale garbage leaves it outstanding (not freed), so the next
+        // round's allocation cannot reuse that address.
         let collector = Collector::with_config(
             SignalPlatform::new().unwrap(),
             CollectorConfig::default().with_buffer_capacity(64),
         );
-        // Heap-based slot: its value (the raw address) must not live in
-        // any scanned stack frame, or it would pin the node itself.
-        let slot = Arc::new(AtomicUsize::new(0));
-        let barrier = Barrier::new(2);
-        let pinned_ok = AtomicBool::new(false);
-        let freed_ok = AtomicBool::new(false);
+        let handle = collector.register();
+        const ROUNDS: usize = 4;
+        let mut pinned_rounds = 0;
+        let mut freed_rounds = 0;
+        for _ in 0..ROUNDS {
+            let (pinned, freed) = run_round(&collector, &handle);
+            pinned_rounds += pinned as usize;
+            freed_rounds += freed as usize;
+        }
+        drop(handle);
 
-        std::thread::scope(|s| {
-            let collector2 = Arc::clone(&collector);
-            let barrier2 = &barrier;
-            let slot2 = Arc::clone(&slot);
-            s.spawn(move || {
-                let handle = collector2.register();
-                hold_reference(&slot2, barrier2); // holds across (0)-(2)
-                std::hint::black_box(churn(64)); // scrub stale slots
-                barrier2.wait(); // (3) released
-                barrier2.wait(); // (4) reclaimer done
-                drop(handle);
-            });
-
-            let handle = collector.register();
-            make_and_retire(&handle, &slot, &barrier); // passes (0)
-            std::hint::black_box(churn(64)); // scrub our own stale slots
-            barrier.wait(); // (1) peer is holding
-            let before = DROPS2.load(Ordering::SeqCst);
-            handle.flush();
-            handle.flush();
-            pinned_ok.store(DROPS2.load(Ordering::SeqCst) == before, Ordering::SeqCst);
-            barrier.wait(); // (2) let the peer release
-            barrier.wait(); // (3) peer released + churned
-            for _ in 0..256 {
-                std::hint::black_box(churn(64));
-                handle.flush();
-                if DROPS2.load(Ordering::SeqCst) > before {
-                    freed_ok.store(true, Ordering::SeqCst);
-                    break;
-                }
-                std::thread::sleep(std::time::Duration::from_millis(1));
-            }
-            barrier.wait(); // (4)
-            drop(handle);
-        });
-
-        assert!(
-            pinned_ok.load(Ordering::SeqCst),
-            "peer stack reference must pin the node"
+        assert_eq!(
+            pinned_rounds, ROUNDS,
+            "peer stack reference must pin the node in every round"
         );
         assert!(
-            freed_ok.load(Ordering::SeqCst),
-            "node must be reclaimed after the peer drops it"
+            freed_rounds * 2 >= ROUNDS,
+            "nodes must usually be reclaimed once the peer drops them \
+             ({freed_rounds}/{ROUNDS} rounds reclaimed)"
         );
     }
 }

@@ -135,6 +135,10 @@ pub struct WorkloadParams {
     /// collector's parallelism-derived default; `1` is the paper's single
     /// sorted delete buffer).
     pub ts_shards: usize,
+    /// Reclaimer sort-thread count for ThreadScan runs (`0` keeps the
+    /// collector's `min(shards, parallelism)` default; `1` forces the
+    /// sequential, pool-free sort).
+    pub ts_sort_threads: usize,
     /// Slow-epoch injected delay.
     pub slow_epoch_delay: Duration,
     /// Slow-epoch delay cadence in operations.
@@ -190,6 +194,7 @@ impl WorkloadParams {
             ts_distribute_frees: false,
             ts_exact_match: false,
             ts_shards: 0,
+            ts_sort_threads: 0,
             slow_epoch_delay: Duration::from_millis(40),
             slow_epoch_period_ops: 4096,
         }
@@ -218,6 +223,13 @@ impl WorkloadParams {
     /// ablation); `0` keeps the collector default.
     pub fn with_ts_shards(mut self, shards: usize) -> Self {
         self.ts_shards = shards;
+        self
+    }
+
+    /// Builder: ThreadScan reclaimer sort-thread count (parallel
+    /// shard-sort ablation); `0` keeps the collector default.
+    pub fn with_ts_sort_threads(mut self, sort_threads: usize) -> Self {
+        self.ts_sort_threads = sort_threads;
         self
     }
 

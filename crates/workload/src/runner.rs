@@ -36,8 +36,23 @@ pub struct ThreadScanExtras {
     pub mean_collect_us: f64,
     /// Worst-case reclaimer-side collect latency (µs).
     pub max_collect_us: f64,
-    /// Mean per-phase master-buffer partition-and-sort time (µs).
+    /// Mean per-phase master-buffer partition-and-sort time (µs),
+    /// critical path — what the reclaimer actually waited.
     pub mean_sort_us: f64,
+    /// Mean per-phase sort CPU time (µs), summed over sorting threads;
+    /// divided by `mean_sort_us` this is the parallel sort's speedup.
+    pub mean_sort_cpu_us: f64,
+    /// Reclaimer collect-latency percentiles (µs), from the collector's
+    /// log2 latency histogram: median, tail, extreme tail.
+    pub collect_us_p50: f64,
+    /// 95th percentile collect latency (µs).
+    pub collect_us_p95: f64,
+    /// 99th percentile collect latency (µs).
+    pub collect_us_p99: f64,
+    /// Raw log2 collect-latency histogram (`[i]` counts phases in
+    /// `[2^i, 2^(i+1))` ns), exported so multi-repeat harnesses can
+    /// merge histograms across runs before computing percentiles.
+    pub collect_ns_hist: Vec<usize>,
     /// Largest master-buffer shard seen in any phase (entries).
     pub max_shard_len: usize,
     /// Per-shard entry counts of the last reclamation phase of the
@@ -82,8 +97,16 @@ impl ThreadScanExtras {
             .num("mean_collect_us", self.mean_collect_us)
             .num("max_collect_us", self.max_collect_us)
             .num("mean_sort_us", self.mean_sort_us)
+            .num("mean_sort_cpu_us", self.mean_sort_cpu_us)
+            .num("collect_us_p50", self.collect_us_p50)
+            .num("collect_us_p95", self.collect_us_p95)
+            .num("collect_us_p99", self.collect_us_p99)
             .num("max_shard_len", self.max_shard_len as f64)
             .arr_num("shard_sizes", self.shard_sizes.iter().map(|&s| s as f64))
+            .arr_num(
+                "collect_ns_hist",
+                self.collect_ns_hist.iter().map(|&c| c as f64),
+            )
             .build()
     }
 }
@@ -151,22 +174,27 @@ where
                 );
                 start_barrier.wait();
                 let mut ops = 0u64;
+                // The stop flag is checked before *every* op: `elapsed`
+                // is captured when the flag is set, so any op counted
+                // after observing it would be work outside the measured
+                // window. (An earlier batch-of-64 check let a
+                // descheduled worker bill up to 63 post-window ops to
+                // the window — at 2–8× oversubscription that materially
+                // inflated ops/sec. The check is one relaxed load of a
+                // write-once cacheline; it does not contend.)
                 while !stop.load(Ordering::Relaxed) {
-                    // Small batches keep the stop check off the hot path.
-                    for _ in 0..64 {
-                        match mix.next_op() {
-                            Op::Contains(k) => {
-                                set.contains(&handle, k);
-                            }
-                            Op::Insert(k) => {
-                                set.insert(&handle, k);
-                            }
-                            Op::Remove(k) => {
-                                set.remove(&handle, k);
-                            }
+                    match mix.next_op() {
+                        Op::Contains(k) => {
+                            set.contains(&handle, k);
                         }
-                        ops += 1;
+                        Op::Insert(k) => {
+                            set.insert(&handle, k);
+                        }
+                        Op::Remove(k) => {
+                            set.remove(&handle, k);
+                        }
                     }
+                    ops += 1;
                 }
                 total_ops.fetch_add(ops, Ordering::Relaxed);
                 // handle drops here: the thread unregisters before exit,
@@ -237,6 +265,9 @@ pub fn run_combo(scheme: SchemeKind, params: &WorkloadParams) -> RunResult {
             if params.ts_shards > 0 {
                 config = config.with_shards(params.ts_shards);
             }
+            if params.ts_sort_threads > 0 {
+                config = config.with_sort_threads(params.ts_sort_threads);
+            }
             let s = Arc::new(ThreadScanSmr::with_config(platform, config));
             let (ops, secs) = drive_structure(&s, params);
             // Snapshot stats and shard layout before the quiesce: its
@@ -256,6 +287,11 @@ pub fn run_combo(scheme: SchemeKind, params: &WorkloadParams) -> RunResult {
                 mean_collect_us: st.mean_collect_us(),
                 max_collect_us: st.max_collect_us(),
                 mean_sort_us: st.mean_sort_us(),
+                mean_sort_cpu_us: st.mean_sort_cpu_us(),
+                collect_us_p50: st.collect_us_percentile(0.50),
+                collect_us_p95: st.collect_us_percentile(0.95),
+                collect_us_p99: st.collect_us_percentile(0.99),
+                collect_ns_hist: st.collect_ns_hist.to_vec(),
                 max_shard_len: st.max_shard_len,
                 shard_sizes,
             };
@@ -337,6 +373,84 @@ mod tests {
         WorkloadParams::fig3(structure, threads)
             .scaled_down(64)
             .with_duration(Duration::from_millis(120))
+    }
+
+    /// A set whose every operation takes ~`OP_MS` ms: long enough that a
+    /// batch of them straddles the stop flag by a wide margin.
+    struct StallingSet;
+
+    const OP_MS: u64 = 5;
+
+    impl ConcurrentSet<Leaky> for StallingSet {
+        fn contains(&self, _h: &<Leaky as Smr>::Handle, _k: u64) -> bool {
+            std::thread::sleep(Duration::from_millis(OP_MS));
+            false
+        }
+        fn insert(&self, _h: &<Leaky as Smr>::Handle, _k: u64) -> bool {
+            std::thread::sleep(Duration::from_millis(OP_MS));
+            true
+        }
+        fn remove(&self, _h: &<Leaky as Smr>::Handle, _k: u64) -> bool {
+            std::thread::sleep(Duration::from_millis(OP_MS));
+            false
+        }
+        fn kind(&self) -> &'static str {
+            "stalling"
+        }
+    }
+
+    /// Regression for the throughput-accounting bug: workers used to run
+    /// 64-op batches and only check `stop` between batches, while
+    /// `elapsed` is captured the moment the flag is set — so up to 63
+    /// ops per thread were billed to a window that excludes the time
+    /// they took. With 5 ms ops and a 60 ms window, the old code counted
+    /// a full 64-op (320 ms) batch per thread; the fixed code can
+    /// complete at most ~12 ops per thread inside the window (plus the
+    /// one op in flight when the flag flips).
+    #[test]
+    fn ops_finished_after_stop_are_not_counted() {
+        const THREADS: usize = 2;
+        let scheme = Arc::new(Leaky::new());
+        let set = Arc::new(StallingSet);
+        let mut params = quick(StructureKind::List, THREADS);
+        params.initial_size = 0; // no prefill through the stalling set
+        params.duration = Duration::from_millis(60);
+        let (ops, secs) = drive(&scheme, &set, &params);
+        // Bound against the *measured* window, not the nominal 60 ms —
+        // on a loaded machine the driver's sleep can overshoot, in which
+        // case more ops legitimately fit. `+ 1` covers the op in flight
+        // per thread when the flag flips; 2x slack absorbs scheduling
+        // jitter while staying far below the old code's full-batch bill.
+        let window_ops_per_thread = (secs * 1000.0 / OP_MS as f64).ceil() as u64 + 1;
+        assert!(
+            ops <= (THREADS as u64) * window_ops_per_thread * 2,
+            "{ops} ops counted against a {secs:.3}s window: post-stop \
+             batch work is being billed to the measurement window"
+        );
+        assert!(ops > 0, "workers must still make progress");
+    }
+
+    /// Oversubscription smoke: 4× more ThreadScan workers than cores
+    /// must complete, reclaim, and report monotone latency percentiles.
+    #[test]
+    fn oversubscribed_4x_run_reports_latency_percentiles() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let threads = (cores * 4).min(64);
+        let mut p = quick(StructureKind::List, threads);
+        p.ts_buffer_capacity = 64; // force reclamation phases
+        p.duration = Duration::from_millis(250);
+        let r = run_combo(SchemeKind::ThreadScan, &p);
+        assert!(r.total_ops > 0);
+        let ts = r.threadscan.expect("threadscan extras present");
+        assert!(ts.collects > 0, "phases must run under oversubscription");
+        assert!(
+            ts.collect_us_p50 > 0.0,
+            "histogram must populate percentiles"
+        );
+        assert!(ts.collect_us_p50 <= ts.collect_us_p95);
+        assert!(ts.collect_us_p95 <= ts.collect_us_p99);
     }
 
     #[test]
