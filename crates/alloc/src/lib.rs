@@ -49,6 +49,8 @@ pub mod global;
 pub mod size_classes;
 pub mod spin;
 pub mod stats;
+pub mod switchable;
 
 pub use global::TsAlloc;
 pub use stats::{stats, AllocStats};
+pub use switchable::{enable_ts_alloc, ts_alloc_enabled, SwitchableAlloc};

@@ -1,0 +1,189 @@
+//! A runtime-selectable global allocator: system allocator by default,
+//! [`TsAlloc`] after a **one-way** switch.
+//!
+//! `#[global_allocator]` is a compile-time, per-binary choice, but the
+//! benchmark binaries want an `--real-alloc` *flag* so one executable can
+//! produce both the system-allocator and thread-caching rows. This
+//! front end makes that sound with two constraints:
+//!
+//! * the switch is **one-way**: the process starts on the system
+//!   allocator, [`enable_ts_alloc`] flips to [`TsAlloc`] once, and the
+//!   flip is permanent;
+//! * the system-backed path allocates small layouts **padded to the full
+//!   size-class footprint** (`class_size`, `CLASS_ALIGN`-aligned) — the
+//!   exact block shape the class machinery hands out.
+//!
+//! # Why that is sound
+//!
+//! Dispatch is layout-based on both sides (see [`TsAlloc`]), so the only
+//! cross-backend traffic the one-way flip permits is a block *allocated*
+//! pre-flip (system path) being *freed* post-flip into a `ts-alloc`
+//! class list. Thanks to the padding, such a block is bit-compatible
+//! with that class: exactly `class_size` bytes, at least
+//! [`CLASS_ALIGN`]-aligned, and exclusively owned — the intrusive
+//! free-list link and any future reuse as a class block stay in bounds.
+//! (Without the padding this path would be a heap overflow: a 24-byte
+//! system block recycled into the 32-byte class hands a later caller 8
+//! bytes it does not own.) The blocks migrate pools permanently — they
+//! are never returned to the system allocator, a bounded one-time leak
+//! of the pre-flip population. The unsound direction — class-machinery
+//! memory reaching `System::dealloc` — would require flipping *back*,
+//! which the API makes impossible.
+//!
+//! Flip as early as possible (first thing in `main`) so the pre-flip
+//! population, and with it both the padding overhead and the one-time
+//! pool migration, stays small.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::global::TsAlloc;
+use crate::size_classes::{class_of, class_size, CLASS_ALIGN};
+
+static TS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Permanently routes subsequent allocations of a [`SwitchableAlloc`]
+/// binary through [`TsAlloc`]. Idempotent. Call at the top of `main`,
+/// before spawning threads or building workloads.
+pub fn enable_ts_alloc() {
+    TS_ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Whether [`enable_ts_alloc`] has been called.
+pub fn ts_alloc_enabled() -> bool {
+    TS_ENABLED.load(Ordering::SeqCst)
+}
+
+/// The class-footprint layout for `layout`, when the class machinery
+/// would serve it; `layout` itself otherwise. Applying this on the
+/// system-backed path keeps every small block interchangeable with the
+/// class blocks it may be freed among after the flip. Idempotent:
+/// a padded layout maps to its own class, so alloc- and dealloc-side
+/// dispatch agree whichever side of the flip each runs on.
+fn class_footprint(layout: Layout) -> Layout {
+    if layout.align() <= CLASS_ALIGN {
+        if let Some(class) = class_of(layout.size().max(1)) {
+            return Layout::from_size_align(class_size(class), CLASS_ALIGN)
+                .expect("class sizes are valid nonzero multiples of 16");
+        }
+    }
+    layout
+}
+
+/// The switchable global-allocator front end. Install with
+/// `#[global_allocator] static A: SwitchableAlloc = SwitchableAlloc;`
+/// and optionally call [`enable_ts_alloc`] at startup.
+pub struct SwitchableAlloc;
+
+// SAFETY: both backends satisfy the GlobalAlloc contract (the padded
+// layout covers the requested one), and the one-way switch plus the
+// class-footprint padding make the only cross-backend path — pre-flip
+// system blocks freed into class lists — bit-compatible (see module
+// docs). Class-machinery memory never reaches `System::dealloc`.
+unsafe impl GlobalAlloc for SwitchableAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TS_ENABLED.load(Ordering::Relaxed) {
+            TsAlloc.alloc(layout)
+        } else {
+            System.alloc(class_footprint(layout))
+        }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if TS_ENABLED.load(Ordering::Relaxed) {
+            TsAlloc.dealloc(ptr, layout)
+        } else {
+            System.dealloc(ptr, class_footprint(layout))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::size_classes::MAX_SMALL;
+
+    // NOTE: these tests exercise the front end directly (not installed as
+    // the global allocator) so they cannot disturb the test harness.
+
+    #[test]
+    fn footprint_matches_the_class_machinery_exactly() {
+        for size in 1..=MAX_SMALL {
+            for align in [1usize, 2, 4, 8, 16] {
+                let l = Layout::from_size_align(size, align).unwrap();
+                let p = class_footprint(l);
+                let class = class_of(size).unwrap();
+                assert_eq!(p.size(), class_size(class), "size {size}/{align}");
+                assert_eq!(p.align(), CLASS_ALIGN);
+                assert_eq!(
+                    class_footprint(p),
+                    p,
+                    "padding must be idempotent so both dispatch sides agree"
+                );
+            }
+        }
+        // Large and over-aligned layouts bypass the classes on both
+        // backends and must stay untouched.
+        let big = Layout::from_size_align(MAX_SMALL + 1, 8).unwrap();
+        assert_eq!(class_footprint(big), big);
+        let aligned = Layout::from_size_align(64, 64).unwrap();
+        assert_eq!(class_footprint(aligned), aligned);
+    }
+
+    /// One test for the whole switch lifecycle: the flag is process-global
+    /// state, so splitting phases across `#[test]`s would race under the
+    /// parallel test harness.
+    #[test]
+    fn one_way_flip_sticks_and_routes_to_ts_alloc() {
+        assert!(
+            !ts_alloc_enabled(),
+            "the switch must start off (no other test flips it)"
+        );
+        let a = SwitchableAlloc;
+        let l = Layout::from_size_align(24, 8).unwrap();
+        // SAFETY: allocated and freed with the same layout, same (off)
+        // flag state; the padded system block is writable for the full
+        // class footprint.
+        unsafe {
+            let p = a.alloc(l);
+            assert!(!p.is_null());
+            assert_eq!(p as usize % CLASS_ALIGN, 0, "system path pads alignment");
+            p.write_bytes(0x5A, 32); // the whole 32-byte class footprint
+            a.dealloc(p, l);
+        }
+        assert!(!ts_alloc_enabled(), "probing must not flip the switch");
+
+        enable_ts_alloc();
+        assert!(ts_alloc_enabled());
+        enable_ts_alloc(); // idempotent
+        assert!(ts_alloc_enabled());
+
+        // The cross-backend path the padding exists for: a block shaped
+        // exactly like the pre-flip system path shapes them, freed into
+        // the class list, recycled as a class block, and written for
+        // every byte the class entitles the new owner to.
+        let pre_flip = unsafe { System.alloc(class_footprint(l)) };
+        assert!(!pre_flip.is_null());
+        let before = crate::stats().small_allocs;
+        // SAFETY: `pre_flip` is a live 32-byte, 16-aligned block; freeing
+        // it post-flip migrates it into the 32-byte class.
+        unsafe {
+            SwitchableAlloc.dealloc(pre_flip, l);
+            // Draw from the same class until the migrated block cycles
+            // back out, proving it serves class-sized requests safely.
+            let l32 = Layout::from_size_align(32, 16).unwrap();
+            let blocks: Vec<*mut u8> = (0..64).map(|_| SwitchableAlloc.alloc(l32)).collect();
+            for &b in &blocks {
+                assert!(!b.is_null());
+                b.write_bytes(0xA5, 32);
+            }
+            for b in blocks {
+                SwitchableAlloc.dealloc(b, l32);
+            }
+        }
+        assert!(
+            crate::stats().small_allocs > before,
+            "post-flip small allocations must hit the ts-alloc counters"
+        );
+    }
+}

@@ -1,25 +1,36 @@
 //! Ablation I: the allocator substrate (§6 setup: "we used the highly
 //! scalable TCMalloc allocator").
 //!
-//! This binary is the same Figure-3 list/hash cells as `fig3_throughput`,
-//! but with [`ts_alloc::TsAlloc`] — this repo's TCMalloc-style
-//! thread-caching allocator — installed as the global allocator. A
-//! global allocator is per-binary, so compare these rows against the
-//! matching system-allocator rows from `fig3_throughput` (EXPERIMENTS.md
-//! records both). The allocator's own amortization counters are printed
-//! to verify the thread caches actually absorbed the traffic.
+//! This binary runs the same Figure-3 list/hash cells as
+//! `fig3_throughput`, with the global allocator selected **at runtime**:
+//!
+//! * default — the system allocator (the baseline rows);
+//! * `--real-alloc` — [`ts_alloc`]'s TCMalloc-style thread-caching
+//!   allocator, flipped on before any workload runs via the one-way
+//!   [`ts_alloc::SwitchableAlloc`] switch.
+//!
+//! Under `--real-alloc` every `RunResult` carries the run's
+//! allocator-counter deltas (the `ts-alloc-nodes` feature of
+//! `ts-workload`), which land in the JSON as an `alloc` block — so the
+//! amortization claim ("allocs per depot lock") is checkable per cell,
+//! not just per process.
 
 use std::time::Duration;
 
-use ts_alloc::TsAlloc;
+use ts_alloc::SwitchableAlloc;
 use ts_bench::cli::{machine_info, CliArgs};
 use ts_workload::{run_combo, Report, SchemeKind, StructureKind, WorkloadParams};
 
 #[global_allocator]
-static ALLOC: TsAlloc = TsAlloc;
+static ALLOC: SwitchableAlloc = SwitchableAlloc;
 
 fn main() {
     let args = CliArgs::parse();
+    let real_alloc = args.get_flag("real-alloc");
+    if real_alloc {
+        // One-way: must happen before the workloads allocate anything.
+        ts_alloc::enable_ts_alloc();
+    }
     let quick = args.get_flag("quick");
     let duration =
         Duration::from_secs_f64(args.get_f64("duration", if quick { 0.25 } else { 1.5 }));
@@ -27,8 +38,11 @@ fn main() {
     let threads_list = args.get_usize_list("threads", &[2, 4]);
     let schemes = [SchemeKind::Leaky, SchemeKind::Epoch, SchemeKind::ThreadScan];
 
-    println!("# Ablation I: ts-alloc substrate ({})", machine_info());
-    println!("# global allocator = ts-alloc (thread-caching); compare vs fig3 rows");
+    println!("# Ablation I: allocator substrate ({})", machine_info());
+    println!(
+        "# global allocator = {} (--real-alloc toggles the thread-caching ts-alloc)",
+        if real_alloc { "ts-alloc" } else { "system" }
+    );
     println!("# duration={duration:?} scale=1/{scale} update%=20");
 
     let mut report = Report::new("ablation-allocator");
@@ -46,6 +60,15 @@ fn main() {
                     .with_duration(duration);
                 let r = run_combo(scheme, &params);
                 row.push_str(&format!("{:>14.3}", r.ops_per_sec / 1e6));
+                if let Some(alloc) = &r.alloc {
+                    eprintln!(
+                        "  {:6} {:10} t={threads}: {} small allocs, {:.1} allocs/depot-lock",
+                        structure.label(),
+                        scheme.label(),
+                        alloc.small_allocs,
+                        alloc.allocs_per_lock()
+                    );
+                }
                 report.push(r);
             }
             println!("{row}");
@@ -53,7 +76,7 @@ fn main() {
     }
 
     let s = ts_alloc::stats();
-    println!("\n# allocator counters:");
+    println!("\n# allocator counters (process lifetime):");
     println!("#   small allocs     {:>12}", s.small_allocs);
     println!("#   small frees      {:>12}", s.small_frees);
     println!(
@@ -66,6 +89,9 @@ fn main() {
         s.cache_fills + s.cache_flushes
     );
     println!("#   allocs per lock  {:>12.1}", s.allocs_per_lock());
+    if !real_alloc {
+        println!("#   (all zero: system allocator active; pass --real-alloc)");
+    }
 
     if let Some(path) = args.get("json") {
         report

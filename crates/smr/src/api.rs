@@ -17,6 +17,8 @@
 
 use std::sync::atomic::AtomicPtr;
 
+use crate::guard::Guard;
+
 /// Type-erased destructor, re-exported from the collector core.
 pub type DropFn = unsafe fn(*mut u8);
 
@@ -24,8 +26,10 @@ pub type DropFn = unsafe fn(*mut u8);
 /// (or several, if desired).
 pub trait Smr: Send + Sync + 'static {
     /// Per-thread state. Created once per accessing thread, dropped when
-    /// the thread stops accessing the structure.
-    type Handle: SmrHandle;
+    /// the thread stops accessing the structure. (`'static` so handles
+    /// can be type-erased behind `Box<dyn DynHandle>`; every handle owns
+    /// its scheme state via `Arc` anyway.)
+    type Handle: SmrHandle + 'static;
 
     /// Registers the calling thread.
     fn register(&self) -> Self::Handle;
@@ -43,17 +47,37 @@ pub trait Smr: Send + Sync + 'static {
     fn quiesce(&self) {}
 }
 
-/// Per-thread reclamation operations, called from data-structure code.
+/// Per-thread reclamation hooks, implemented by schemes.
 ///
 /// Not `Send`: bound to the registering thread.
+///
+/// Data-structure code should not call the raw `begin_op`/`end_op` hooks
+/// directly — use [`SmrHandle::pin`], whose [`Guard`] brackets the
+/// operation by RAII so an unmatched `end_op` is unrepresentable. The
+/// hooks remain public because scheme *implementors* override them and
+/// conformance suites exercise them.
 pub trait SmrHandle {
-    /// Marks the start of a data-structure operation.
+    /// Opens a data-structure operation, returning an RAII [`Guard`] that
+    /// calls [`begin_op`](Self::begin_op) now and
+    /// [`end_op`](Self::end_op) on drop.
+    ///
+    /// Pinning the same handle again while a guard is live is a
+    /// programming error (debug builds panic; see [`Guard`]'s module
+    /// docs).
+    #[inline]
+    fn pin(&self) -> Guard<'_, Self> {
+        Guard::enter(self)
+    }
+
+    /// Scheme hook: marks the start of a data-structure operation.
+    /// Called by [`Guard`]; structures use [`pin`](Self::pin).
     #[inline]
     fn begin_op(&self) {}
 
-    /// Marks the end of a data-structure operation. Every private
-    /// reference obtained during the operation is dead after this returns
-    /// (epoch-style schemes rely on it; ThreadScan does not need it).
+    /// Scheme hook: marks the end of a data-structure operation. Every
+    /// private reference obtained during the operation is dead after this
+    /// returns (epoch-style schemes rely on it; ThreadScan does not need
+    /// it). Called by [`Guard`]'s drop; structures use [`pin`](Self::pin).
     #[inline]
     fn end_op(&self) {}
 
@@ -80,12 +104,18 @@ pub trait SmrHandle {
     /// * `drop_fn(addr as *mut u8)` is sound to call exactly once.
     unsafe fn retire(&self, addr: usize, size: usize, drop_fn: DropFn);
 
-    /// The number of hazard-style protection slots this handle supports.
-    /// Structures needing more simultaneous protected references than this
-    /// must not use the scheme (the paper's structures need at most 3 +
-    /// one per skip-list level).
-    fn protection_slots(&self) -> usize {
-        usize::MAX
+    /// The number of hazard-style protection slots this handle supports,
+    /// or `None` when the scheme keeps no per-reference state (epoch,
+    /// ThreadScan, leaky — any slot index is accepted and ignored).
+    /// Structures needing more simultaneous protected references than a
+    /// `Some` budget must not use the scheme (the paper's structures need
+    /// at most 3 + one pair per skip-list level).
+    ///
+    /// (An earlier revision defaulted to `usize::MAX` as the "unbounded"
+    /// sentinel, which leaked into reports as a 20-digit slot count;
+    /// `Option` keeps "unbounded" out of the numeric domain.)
+    fn protection_slots(&self) -> Option<usize> {
+        None
     }
 }
 

@@ -1,0 +1,266 @@
+//! Object-safe, type-erased view of the reclamation API.
+//!
+//! The generic [`Smr`]/[`SmrHandle`] pair is what data structures
+//! monomorphize against — zero-cost, but each (scheme × structure)
+//! combination is a distinct concrete type, which forces harness code
+//! into nested dispatch matches. This module erases the scheme behind
+//! trait objects so a harness can hold *any* scheme as one type:
+//!
+//! * [`DynSmr`] / [`DynHandle`] — object-safe mirrors of
+//!   [`Smr`]/[`SmrHandle`]. Every `S: Smr` implements `DynSmr` through a
+//!   blanket impl (the associated `Handle` type is erased behind
+//!   `Box<dyn DynHandle>`), so `Arc<dyn DynSmr>` can name any scheme.
+//! * [`ErasedSmr`] — an adapter *back* to [`Smr`], so generic structures
+//!   (`HarrisList<S>`, …) can be driven through an `Arc<dyn DynSmr>`
+//!   chosen at runtime. Its hooks cost one virtual call each, which is
+//!   why the erased layer is meant for harness/registry plumbing; code
+//!   that cares about per-read cost should stay generic.
+//! * [`DynSmr::as_any`] — downcast access to the concrete scheme, for
+//!   scheme-specific reporting (e.g. ThreadScan collector statistics)
+//!   without reintroducing a scheme match at every call site.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ts_smr::dynamic::{DynSmr, ErasedSmr};
+//! use ts_smr::{EpochScheme, Leaky, Smr, SmrHandle};
+//!
+//! // A runtime-chosen scheme, one static type:
+//! let schemes: Vec<Arc<dyn DynSmr>> = vec![
+//!     Arc::new(Leaky::new()),
+//!     Arc::new(EpochScheme::new()),
+//! ];
+//! for scheme in schemes {
+//!     let erased = ErasedSmr::new(Arc::clone(&scheme));
+//!     let handle = erased.register(); // Box<dyn DynHandle> inside
+//!     let guard = handle.pin();       // the guard API works unchanged
+//!     drop(guard);
+//!     assert_eq!(Smr::name(&erased), scheme.name());
+//! }
+//! ```
+
+use std::any::Any;
+use std::sync::atomic::AtomicPtr;
+use std::sync::Arc;
+
+use crate::api::{DropFn, Smr, SmrHandle};
+
+/// Object-safe mirror of [`SmrHandle`]: per-thread reclamation hooks
+/// behind a vtable.
+///
+/// Implemented for every [`SmrHandle`] by a blanket impl; user code never
+/// implements this directly.
+pub trait DynHandle {
+    /// See [`SmrHandle::begin_op`].
+    fn begin_op(&self);
+    /// See [`SmrHandle::end_op`].
+    fn end_op(&self);
+    /// See [`SmrHandle::load_protected`].
+    fn load_protected(&self, slot: usize, src: &AtomicPtr<u8>) -> *mut u8;
+    /// See [`SmrHandle::retire`].
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`SmrHandle::retire`].
+    unsafe fn retire(&self, addr: usize, size: usize, drop_fn: DropFn);
+    /// See [`SmrHandle::protection_slots`].
+    fn protection_slots(&self) -> Option<usize>;
+}
+
+impl<H: SmrHandle> DynHandle for H {
+    fn begin_op(&self) {
+        SmrHandle::begin_op(self);
+    }
+    fn end_op(&self) {
+        SmrHandle::end_op(self);
+    }
+    fn load_protected(&self, slot: usize, src: &AtomicPtr<u8>) -> *mut u8 {
+        SmrHandle::load_protected(self, slot, src)
+    }
+    unsafe fn retire(&self, addr: usize, size: usize, drop_fn: DropFn) {
+        SmrHandle::retire(self, addr, size, drop_fn);
+    }
+    fn protection_slots(&self) -> Option<usize> {
+        SmrHandle::protection_slots(self)
+    }
+}
+
+/// Object-safe mirror of [`Smr`]: a reclamation scheme behind a vtable.
+///
+/// Implemented for every [`Smr`] by a blanket impl, so any scheme can be
+/// held as `Arc<dyn DynSmr>` — the registry currency of benchmark
+/// harnesses. To drive *generic* data structures with one, wrap it in
+/// [`ErasedSmr`].
+pub trait DynSmr: Send + Sync {
+    /// Registers the calling thread; the handle is type-erased.
+    fn register_dyn(&self) -> Box<dyn DynHandle>;
+    /// See [`Smr::name`].
+    fn name(&self) -> &'static str;
+    /// See [`Smr::outstanding`].
+    fn outstanding(&self) -> usize;
+    /// See [`Smr::quiesce`].
+    fn quiesce(&self);
+    /// The concrete scheme, for downcast-based scheme-specific reporting
+    /// (`scheme.as_any().downcast_ref::<ThreadScanSmr<_>>()`).
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl<S: Smr> DynSmr for S {
+    fn register_dyn(&self) -> Box<dyn DynHandle> {
+        Box::new(self.register())
+    }
+    fn name(&self) -> &'static str {
+        Smr::name(self)
+    }
+    fn outstanding(&self) -> usize {
+        Smr::outstanding(self)
+    }
+    fn quiesce(&self) {
+        Smr::quiesce(self);
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A runtime-chosen scheme adapted back to the generic [`Smr`] interface.
+///
+/// `HarrisList<ErasedSmr>` (or any `T<S: Smr>`) monomorphizes *once* and
+/// then runs under whichever scheme the wrapped `Arc<dyn DynSmr>` holds;
+/// each hook pays one virtual call. This is the type harness registries
+/// drive — the cross product of schemes and structures collapses to one
+/// instantiation per structure.
+pub struct ErasedSmr {
+    inner: Arc<dyn DynSmr>,
+}
+
+impl ErasedSmr {
+    /// Wraps a type-erased scheme.
+    pub fn new(inner: Arc<dyn DynSmr>) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped scheme.
+    pub fn inner(&self) -> &Arc<dyn DynSmr> {
+        &self.inner
+    }
+}
+
+/// Type-erased per-thread handle used by [`ErasedSmr`].
+pub struct ErasedHandle {
+    inner: Box<dyn DynHandle>,
+}
+
+impl Smr for ErasedSmr {
+    type Handle = ErasedHandle;
+
+    fn register(&self) -> ErasedHandle {
+        ErasedHandle {
+            inner: self.inner.register_dyn(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn outstanding(&self) -> usize {
+        self.inner.outstanding()
+    }
+
+    fn quiesce(&self) {
+        self.inner.quiesce();
+    }
+}
+
+impl SmrHandle for ErasedHandle {
+    #[inline]
+    fn begin_op(&self) {
+        self.inner.begin_op();
+    }
+    #[inline]
+    fn end_op(&self) {
+        self.inner.end_op();
+    }
+    #[inline]
+    fn load_protected(&self, slot: usize, src: &AtomicPtr<u8>) -> *mut u8 {
+        self.inner.load_protected(slot, src)
+    }
+    #[inline]
+    unsafe fn retire(&self, addr: usize, size: usize, drop_fn: DropFn) {
+        self.inner.retire(addr, size, drop_fn);
+    }
+    #[inline]
+    fn protection_slots(&self) -> Option<usize> {
+        self.inner.protection_slots()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::EpochScheme;
+    use crate::hazard::HazardPointers;
+    use crate::leaky::Leaky;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Probe(Arc<AtomicUsize>);
+    impl Drop for Probe {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn blanket_impl_erases_any_scheme() {
+        let schemes: Vec<Arc<dyn DynSmr>> = vec![
+            Arc::new(Leaky::new()),
+            Arc::new(EpochScheme::with_threshold(4)),
+            Arc::new(HazardPointers::with_params(4, 4)),
+        ];
+        assert_eq!(
+            schemes.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            ["leaky", "epoch", "hazard"]
+        );
+    }
+
+    #[test]
+    fn erased_scheme_reclaims_like_the_concrete_one() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let erased = ErasedSmr::new(Arc::new(EpochScheme::with_threshold(4)));
+        {
+            let h = erased.register();
+            for _ in 0..16 {
+                let g = h.pin();
+                unsafe { g.retire_box(Box::into_raw(Box::new(Probe(Arc::clone(&drops))))) };
+            }
+        }
+        // UFCS: `ErasedSmr` implements both `Smr` and (via the blanket
+        // impl) `DynSmr`, whose methods share names.
+        Smr::quiesce(&erased);
+        assert_eq!(drops.load(Ordering::SeqCst), 16);
+        assert_eq!(Smr::outstanding(&erased), 0);
+    }
+
+    #[test]
+    fn erased_handle_reports_real_protection_slots() {
+        let erased = ErasedSmr::new(Arc::new(HazardPointers::with_params(6, 8)));
+        assert_eq!(
+            SmrHandle::protection_slots(&erased.register()),
+            Some(6),
+            "the hazard scheme's real slot budget survives erasure"
+        );
+        let unbounded = ErasedSmr::new(Arc::new(Leaky::new()));
+        assert_eq!(SmrHandle::protection_slots(&unbounded.register()), None);
+    }
+
+    #[test]
+    fn as_any_downcasts_to_the_concrete_scheme() {
+        let scheme: Arc<dyn DynSmr> = Arc::new(Leaky::new());
+        let leaky = scheme
+            .as_any()
+            .downcast_ref::<Leaky>()
+            .expect("downcast to Leaky");
+        assert_eq!(leaky.leaked(), 0);
+        assert!(scheme.as_any().downcast_ref::<EpochScheme>().is_none());
+    }
+}

@@ -175,6 +175,14 @@ impl SmrHandle for HpHandle {
 
     #[inline]
     fn load_protected(&self, slot: usize, src: &AtomicPtr<u8>) -> *mut u8 {
+        // Structures must budget their slots against `protection_slots()`
+        // up front; an out-of-range slot is a caller bug, never a cue to
+        // grow the (fixed, scanned-by-reclaimers) hazard array.
+        debug_assert!(
+            slot < self.inner.slots_per_thread,
+            "hazard slot {slot} out of range: this handle has {} protection slots",
+            self.inner.slots_per_thread
+        );
         let hazard = &self.rec.hazards[slot];
         loop {
             let p = src.load(Ordering::Acquire);
@@ -205,8 +213,8 @@ impl SmrHandle for HpHandle {
         }
     }
 
-    fn protection_slots(&self) -> usize {
-        self.inner.slots_per_thread
+    fn protection_slots(&self) -> Option<usize> {
+        Some(self.inner.slots_per_thread)
     }
 }
 

@@ -18,19 +18,28 @@
 //! Data structures in `ts-structures` are written once against the trait
 //! and get all five schemes for free — which is how the paper's Figure 3
 //! and Figure 4 comparisons are produced.
+//!
+//! Operations are bracketed by the RAII [`Guard`] returned from
+//! [`SmrHandle::pin`] (see [`guard`]); harnesses that pick schemes at
+//! runtime hold them as `Arc<dyn DynSmr>` via the object-safe [`dynamic`]
+//! layer.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod api;
+pub mod dynamic;
 pub mod epoch;
+pub mod guard;
 pub mod hazard;
 pub mod leaky;
 pub mod stacktrack;
 pub mod threadscan_smr;
 
 pub use api::{retire_box, DropFn, Smr, SmrHandle};
+pub use dynamic::{DynHandle, DynSmr, ErasedHandle, ErasedSmr};
 pub use epoch::{EpochHandle, EpochScheme};
+pub use guard::Guard;
 pub use hazard::{HazardPointers, HpHandle};
 pub use leaky::{Leaky, LeakyHandle};
 pub use stacktrack::{StHandle, StackTrackSim};

@@ -226,9 +226,9 @@ impl SmrHandle for StHandle {
         }
     }
 
-    fn protection_slots(&self) -> usize {
+    fn protection_slots(&self) -> Option<usize> {
         // The window is shared; "slots" are effectively the window size.
-        self.inner.window
+        Some(self.inner.window)
     }
 }
 

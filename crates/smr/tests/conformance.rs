@@ -18,7 +18,7 @@
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 
-use ts_smr::{retire_box, EpochScheme, HazardPointers, Smr, SmrHandle, StackTrackSim};
+use ts_smr::{retire_box, EpochScheme, ErasedSmr, HazardPointers, Smr, SmrHandle, StackTrackSim};
 
 /// A drop-counting node with enough body that use-after-free corrupts
 /// observable state under sanitizers.
@@ -144,10 +144,11 @@ fn concurrent_retire_storm_is_exact<S: Smr>(scheme: &S) {
                 let h = scheme.register();
                 start.wait();
                 for i in 0..PER_THREAD {
-                    h.begin_op();
+                    // Retire from inside a guarded operation (the RAII
+                    // equivalent of a begin_op/end_op bracket).
+                    let g = h.pin();
                     // SAFETY: fresh, private, retired once.
-                    unsafe { retire_box(&h, node(drops, (t * PER_THREAD + i) as u64)) };
-                    h.end_op();
+                    unsafe { g.retire_box(node(drops, (t * PER_THREAD + i) as u64)) };
                 }
             });
         }
@@ -193,3 +194,18 @@ conformance!(
 );
 conformance!(hazard, HazardPointers::with_params(4, 16));
 conformance!(stacktrack, StackTrackSim::with_params(64, 16));
+
+// The type-erased adapter must satisfy the exact same contract: the whole
+// battery again through `ErasedSmr` (every hook crossing a vtable).
+conformance!(
+    erased_epoch,
+    ErasedSmr::new(Arc::new(EpochScheme::with_threshold(32)))
+);
+conformance!(
+    erased_hazard,
+    ErasedSmr::new(Arc::new(HazardPointers::with_params(4, 16)))
+);
+conformance!(
+    erased_stacktrack,
+    ErasedSmr::new(Arc::new(StackTrackSim::with_params(64, 16)))
+);

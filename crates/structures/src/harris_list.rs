@@ -8,13 +8,18 @@
 //!   (physical). Whoever performs the *physical* unlink retires the node
 //!   through the reclamation scheme.
 //! * Traversals are unsynchronized reads; under hazard pointers each step
-//!   goes through `load_protected` (publish + fence + validate), which is
-//!   precisely the cost the paper charges that scheme.
+//!   goes through the guard's protected load (publish + fence +
+//!   validate), which is precisely the cost the paper charges that
+//!   scheme.
+//!
+//! Every operation opens an RAII [`Guard`] via `handle.pin()`; loads and
+//! retires go through the guard, so the begin/end bracket can never be
+//! mismatched.
 
 use core::marker::PhantomData;
 use core::sync::atomic::{AtomicPtr, Ordering};
 
-use ts_smr::{Smr, SmrHandle};
+use ts_smr::{Guard, Smr, SmrHandle};
 
 use crate::set_trait::ConcurrentSet;
 use crate::tagged::{is_marked, marked, untagged};
@@ -73,14 +78,14 @@ impl<S: Smr> HarrisList<S> {
     /// observation time and `curr` (possibly null) is unmarked. Unlinks
     /// (and retires) marked nodes encountered on the way — Harris' helping
     /// rule; the unlinking thread owns the retire.
-    fn search(&self, h: &S::Handle, key: u64) -> (*const AtomicPtr<u8>, *mut Node) {
+    fn search(&self, g: &Guard<'_, S::Handle>, key: u64) -> (*const AtomicPtr<u8>, *mut Node) {
         'retry: loop {
             let mut prev: *const AtomicPtr<u8> = &self.head;
             // Slots: prev's node (none yet), curr, next — rotate as we walk.
             let mut curr_slot = SLOT_A;
             let mut prev_slot = SLOT_B; // unused until we advance once
                                         // SAFETY: `prev` points at self.head or a protected node's field.
-            let mut curr = h.load_protected(curr_slot, unsafe { &*prev });
+            let mut curr = g.load(curr_slot, unsafe { &*prev });
             loop {
                 let curr_node_ptr = untagged(curr) as *mut Node;
                 if curr_node_ptr.is_null() {
@@ -90,7 +95,7 @@ impl<S: Smr> HarrisList<S> {
                 // guarantees grace (epoch/threadscan/leaky).
                 let curr_node = unsafe { &*curr_node_ptr };
                 let next_slot = SLOT_A + SLOT_B + SLOT_C - prev_slot - curr_slot;
-                let next = h.load_protected(next_slot, &curr_node.next);
+                let next = g.load(next_slot, &curr_node.next);
                 if is_marked(next) {
                     // curr is logically deleted: attempt physical unlink.
                     // SAFETY: prev field belongs to head or a protected node.
@@ -105,7 +110,7 @@ impl<S: Smr> HarrisList<S> {
                             // SAFETY: the node is now unreachable from the
                             // list and this is the only unlink (the CAS).
                             unsafe {
-                                h.retire(
+                                g.retire(
                                     curr_node_ptr as usize,
                                     core::mem::size_of::<Node>(),
                                     drop_node,
@@ -171,11 +176,11 @@ impl<S: Smr> Default for HarrisList<S> {
 
 impl<S: Smr> ConcurrentSet<S> for HarrisList<S> {
     fn contains(&self, h: &S::Handle, key: u64) -> bool {
-        h.begin_op();
+        let g = h.pin();
         // Read-only traversal: two alternating protection slots.
-        let result = 'retry: loop {
+        'retry: loop {
             let mut slot = SLOT_A;
-            let mut curr = h.load_protected(slot, &self.head);
+            let mut curr = g.load(slot, &self.head);
             loop {
                 let node_ptr = untagged(curr) as *const Node;
                 if node_ptr.is_null() {
@@ -184,7 +189,7 @@ impl<S: Smr> ConcurrentSet<S> for HarrisList<S> {
                 // SAFETY: protected (hazard) or grace-protected node.
                 let node = unsafe { &*node_ptr };
                 let other = SLOT_A + SLOT_B - slot;
-                let next = h.load_protected(other, &node.next);
+                let next = g.load(other, &node.next);
                 if node.key >= key {
                     break 'retry node.key == key && !is_marked(next);
                 }
@@ -198,16 +203,15 @@ impl<S: Smr> ConcurrentSet<S> for HarrisList<S> {
                 slot = other;
                 curr = next;
             }
-        };
-        h.end_op();
-        result
+        }
+        // guard drops here: end_op
     }
 
     fn insert(&self, h: &S::Handle, key: u64) -> bool {
-        h.begin_op();
+        let g = h.pin();
         let node = Box::into_raw(Node::new(key, std::ptr::null_mut()));
-        let result = loop {
-            let (prev, curr) = self.search(h, key);
+        loop {
+            let (prev, curr) = self.search(&g, key);
             if !curr.is_null() && unsafe { (*curr).key } == key {
                 // SAFETY: `node` was never published.
                 unsafe { drop(Box::from_raw(node)) };
@@ -225,15 +229,13 @@ impl<S: Smr> ConcurrentSet<S> for HarrisList<S> {
                 Ok(_) => break true,
                 Err(_) => continue,
             }
-        };
-        h.end_op();
-        result
+        }
     }
 
     fn remove(&self, h: &S::Handle, key: u64) -> bool {
-        h.begin_op();
-        let result = loop {
-            let (prev, curr) = self.search(h, key);
+        let g = h.pin();
+        loop {
+            let (prev, curr) = self.search(&g, key);
             if curr.is_null() || unsafe { (*curr).key } != key {
                 break false;
             }
@@ -261,16 +263,14 @@ impl<S: Smr> ConcurrentSet<S> for HarrisList<S> {
                     .is_ok()
                 {
                     // SAFETY: we performed the unlink; single retire.
-                    unsafe { h.retire(curr as usize, core::mem::size_of::<Node>(), drop_node) };
+                    unsafe { g.retire(curr as usize, core::mem::size_of::<Node>(), drop_node) };
                 } else {
-                    let _ = self.search(h, key); // helper unlinks + retires
+                    let _ = self.search(&g, key); // helper unlinks + retires
                 }
                 break true;
             }
             // Mark CAS failed (insertion after curr, or a race): retry.
-        };
-        h.end_op();
-        result
+        }
     }
 
     fn kind(&self) -> &'static str {

@@ -15,7 +15,7 @@
 use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::marker::PhantomData;
 
-use ts_smr::{Smr, SmrHandle};
+use ts_smr::{Guard, Smr, SmrHandle};
 
 use crate::set_trait::ConcurrentSet;
 
@@ -146,12 +146,12 @@ impl<S: Smr> LazyList<S> {
     /// deleted node's (frozen) next field is not a sound protection
     /// source for hazard schemes — the successor may already be retired
     /// through its live predecessor.
-    fn search(&self, h: &S::Handle, key: u64) -> (*mut LazyNode, *mut LazyNode) {
+    fn search(&self, g: &Guard<'_, S::Handle>, key: u64) -> (*mut LazyNode, *mut LazyNode) {
         'retry: loop {
             let mut pred: *mut LazyNode = std::ptr::null_mut();
             let mut pred_slot = SLOT_A;
             let mut curr_slot = SLOT_B;
-            let mut curr = h.load_protected(curr_slot, self.pred_field(pred)) as *mut LazyNode;
+            let mut curr = g.load(curr_slot, self.pred_field(pred)) as *mut LazyNode;
             while !curr.is_null() {
                 // SAFETY: curr protected in curr_slot.
                 let node = unsafe { &*curr };
@@ -162,7 +162,7 @@ impl<S: Smr> LazyList<S> {
                 std::mem::swap(&mut pred_slot, &mut curr_slot);
                 // pred is now protected in pred_slot (it was curr's slot);
                 // protect the successor in the freed slot.
-                curr = h.load_protected(curr_slot, &node.next) as *mut LazyNode;
+                curr = g.load(curr_slot, &node.next) as *mut LazyNode;
                 // The chain is sound only if pred was still live when its
                 // next field was read (marking is monotonic, so checking
                 // afterwards suffices).
@@ -204,23 +204,21 @@ impl<S: Smr> ConcurrentSet<S> for LazyList<S> {
     /// The introduction's unsynchronized traversal: reads along the chain,
     /// ignoring all locks; wait-free.
     fn contains(&self, h: &S::Handle, key: u64) -> bool {
-        h.begin_op();
-        let (_, curr) = self.search(h, key);
-        let result = if curr.is_null() {
+        let g = h.pin();
+        let (_, curr) = self.search(&g, key);
+        if curr.is_null() {
             false
         } else {
             // SAFETY: protected by search.
             let node = unsafe { &*curr };
             node.key == key && !node.marked.load(Ordering::Acquire)
-        };
-        h.end_op();
-        result
+        }
     }
 
     fn insert(&self, h: &S::Handle, key: u64) -> bool {
-        h.begin_op();
-        let result = loop {
-            let (pred, curr) = self.search(h, key);
+        let g = h.pin();
+        loop {
+            let (pred, curr) = self.search(&g, key);
             if !curr.is_null() {
                 // SAFETY: protected.
                 let node = unsafe { &*curr };
@@ -238,15 +236,13 @@ impl<S: Smr> ConcurrentSet<S> for LazyList<S> {
             }
             self.unlock_pred(pred);
             // Validation failed: retry from a fresh search.
-        };
-        h.end_op();
-        result
+        }
     }
 
     fn remove(&self, h: &S::Handle, key: u64) -> bool {
-        h.begin_op();
-        let result = loop {
-            let (pred, curr) = self.search(h, key);
+        let g = h.pin();
+        loop {
+            let (pred, curr) = self.search(&g, key);
             if curr.is_null() || unsafe { (*curr).key } != key {
                 break false;
             }
@@ -267,7 +263,7 @@ impl<S: Smr> ConcurrentSet<S> for LazyList<S> {
                 self.unlock_pred(pred);
                 // SAFETY: we unlinked it under both locks: unique retire.
                 unsafe {
-                    h.retire(
+                    g.retire(
                         curr as usize,
                         core::mem::size_of::<LazyNode>(),
                         drop_lazy_node,
@@ -277,9 +273,7 @@ impl<S: Smr> ConcurrentSet<S> for LazyList<S> {
             }
             curr_node.unlock();
             self.unlock_pred(pred);
-        };
-        h.end_op();
-        result
+        }
     }
 
     fn kind(&self) -> &'static str {

@@ -37,7 +37,7 @@ use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::cell::Cell;
 use std::marker::PhantomData;
 
-use ts_smr::{Smr, SmrHandle};
+use ts_smr::{Guard, Smr, SmrHandle};
 
 /// Maximum tower height; same fan-out rationale as the set skip list.
 pub const PQ_MAX_HEIGHT: usize = 12;
@@ -174,7 +174,7 @@ impl<S: Smr> PriorityQueue<S> {
     /// protected. Preds start at the (immortal) sentinel.
     fn find(
         &self,
-        h: &S::Handle,
+        g: &Guard<'_, S::Handle>,
         key: u64,
         preds: &mut [*mut PqNode; PQ_MAX_HEIGHT],
         succs: &mut [*mut PqNode; PQ_MAX_HEIGHT],
@@ -190,7 +190,7 @@ impl<S: Smr> PriorityQueue<S> {
                 // SAFETY: pred is the sentinel or protected
                 // (higher-level slot).
                 let mut pred_field: &AtomicPtr<u8> = unsafe { &(*pred).next[level] };
-                let mut curr = h.load_protected(curr_slot, pred_field) as *mut PqNode;
+                let mut curr = g.load(curr_slot, pred_field) as *mut PqNode;
                 if Self::pred_died(pred) {
                     continue 'retry;
                 }
@@ -207,7 +207,7 @@ impl<S: Smr> PriorityQueue<S> {
                     std::mem::swap(&mut pred_slot, &mut curr_slot);
                     // SAFETY: pred protected in pred_slot.
                     pred_field = unsafe { &(*pred).next[level] };
-                    curr = h.load_protected(curr_slot, pred_field) as *mut PqNode;
+                    curr = g.load(curr_slot, pred_field) as *mut PqNode;
                     if Self::pred_died(pred) {
                         continue 'retry;
                     }
@@ -275,15 +275,15 @@ impl<S: Smr> PriorityQueue<S> {
     /// Inserts priority `key`; `false` if a node with that priority is
     /// still resident (claimed-but-unremoved counts as resident).
     pub fn insert(&self, h: &S::Handle, key: u64) -> bool {
-        debug_assert!(h.protection_slots() >= PQ_REQUIRED_SLOTS);
-        h.begin_op();
+        let g = h.pin();
+        debug_assert!(g.protection_slots().is_none_or(|n| n >= PQ_REQUIRED_SLOTS));
         let top = random_top_level();
         let mut preds = [std::ptr::null_mut(); PQ_MAX_HEIGHT];
         let mut succs = [std::ptr::null_mut(); PQ_MAX_HEIGHT];
         let mut spins = 0u64;
-        let result = 'retry: loop {
+        'retry: loop {
             watchdog(&mut spins, "insert");
-            if let Some(lfound) = self.find(h, key, &mut preds, &mut succs) {
+            if let Some(lfound) = self.find(&g, key, &mut preds, &mut succs) {
                 let found = succs[lfound];
                 // SAFETY: protected by find.
                 let found_node = unsafe { &*found };
@@ -320,9 +320,7 @@ impl<S: Smr> PriorityQueue<S> {
             node_ref.fully_linked.store(true, Ordering::Release);
             Self::unlock_preds(&preds, locked);
             break 'retry true;
-        };
-        h.end_op();
-        result
+        }
     }
 
     /// Removes and returns the smallest priority, or `None` when the queue
@@ -332,8 +330,8 @@ impl<S: Smr> PriorityQueue<S> {
     /// node; physical removal then proceeds exactly like a set remove, and
     /// the unlinked node is retired through the scheme.
     pub fn delete_min(&self, h: &S::Handle) -> Option<u64> {
-        debug_assert!(h.protection_slots() >= PQ_REQUIRED_SLOTS);
-        h.begin_op();
+        let g = h.pin();
+        debug_assert!(g.protection_slots().is_none_or(|n| n >= PQ_REQUIRED_SLOTS));
         let mut spins = 0u64;
         let claimed = 'retry: loop {
             watchdog(&mut spins, "delete_min");
@@ -343,7 +341,7 @@ impl<S: Smr> PriorityQueue<S> {
             let mut curr_slot = 2 * PQ_MAX_HEIGHT + 1;
             let mut pred: *mut PqNode = self.sentinel();
             // SAFETY: the sentinel is immortal.
-            let mut curr = h.load_protected(curr_slot, unsafe { &(*pred).next[0] }) as *mut PqNode;
+            let mut curr = g.load(curr_slot, unsafe { &(*pred).next[0] }) as *mut PqNode;
             loop {
                 if curr.is_null() {
                     break 'retry None;
@@ -366,32 +364,30 @@ impl<S: Smr> PriorityQueue<S> {
                 std::mem::swap(&mut pred_slot, &mut curr_slot);
                 // SAFETY: pred protected in pred_slot.
                 let pred_field = unsafe { &(*pred).next[0] };
-                curr = h.load_protected(curr_slot, pred_field) as *mut PqNode;
+                curr = g.load(curr_slot, pred_field) as *mut PqNode;
                 if Self::pred_died(pred) {
                     continue 'retry;
                 }
             }
         };
-        let result = claimed.map(|(victim, key)| {
-            self.remove_physically(h, victim, key);
+        claimed.map(|(victim, key)| {
+            self.remove_physically(&g, victim, key);
             key
-        });
-        h.end_op();
-        result
+        })
     }
 
     /// The smallest resident (unclaimed) priority, if any. Wait-free,
     /// write-free bottom-level walk — an invisible reader.
     pub fn peek_min(&self, h: &S::Handle) -> Option<u64> {
-        h.begin_op();
+        let g = h.pin();
         let mut spins = 0u64;
-        let result = 'retry: loop {
+        'retry: loop {
             watchdog(&mut spins, "peek_min");
             let mut pred_slot = 2 * PQ_MAX_HEIGHT;
             let mut curr_slot = 2 * PQ_MAX_HEIGHT + 1;
             let mut pred: *mut PqNode = self.sentinel();
             // SAFETY: the sentinel is immortal.
-            let mut curr = h.load_protected(curr_slot, unsafe { &(*pred).next[0] }) as *mut PqNode;
+            let mut curr = g.load(curr_slot, unsafe { &(*pred).next[0] }) as *mut PqNode;
             loop {
                 if curr.is_null() {
                     break 'retry None;
@@ -408,21 +404,19 @@ impl<S: Smr> PriorityQueue<S> {
                 std::mem::swap(&mut pred_slot, &mut curr_slot);
                 // SAFETY: pred protected in pred_slot.
                 let pred_field = unsafe { &(*pred).next[0] };
-                curr = h.load_protected(curr_slot, pred_field) as *mut PqNode;
+                curr = g.load(curr_slot, pred_field) as *mut PqNode;
                 if Self::pred_died(pred) {
                     continue 'retry;
                 }
             }
-        };
-        h.end_op();
-        result
+        }
     }
 
     /// Physically removes a node this thread claimed: mark (under the node
     /// lock), unlink every level, retire. Claim ownership makes this the
     /// unique remover, so raw access to `victim` stays sound across
     /// retries.
-    fn remove_physically(&self, h: &S::Handle, victim: *mut PqNode, key: u64) {
+    fn remove_physically(&self, g: &Guard<'_, S::Handle>, victim: *mut PqNode, key: u64) {
         // SAFETY: we hold the claim; only the claimer marks and retires.
         let victim_node = unsafe { &*victim };
         let top = victim_node.top_level;
@@ -433,7 +427,7 @@ impl<S: Smr> PriorityQueue<S> {
         let mut spins = 0u64;
         loop {
             watchdog(&mut spins, "remove_physically");
-            let lfound = self.find(h, key, &mut preds, &mut succs);
+            let lfound = self.find(g, key, &mut preds, &mut succs);
             // We are the only unlinker, so the victim stays findable until
             // we unlink it.
             debug_assert!(
@@ -462,7 +456,7 @@ impl<S: Smr> PriorityQueue<S> {
             // SAFETY: unlinked from every level; claim ownership makes
             // this the unique retire.
             unsafe {
-                h.retire(
+                g.retire(
                     victim as usize,
                     core::mem::size_of::<PqNode>(),
                     drop_pq_node,

@@ -10,8 +10,9 @@ use ts_smr::Smr;
 /// A concurrent set of `u64` keys managed by reclamation scheme `S`.
 ///
 /// Every method takes the calling thread's scheme handle: the structure
-/// brackets operations with `begin_op`/`end_op` and loads shared pointers
-/// through `load_protected`, so each scheme imposes exactly its own cost.
+/// opens an RAII guard (`handle.pin()`) for the operation's duration and
+/// loads shared pointers / retires unlinked nodes through it, so each
+/// scheme imposes exactly its own cost.
 pub trait ConcurrentSet<S: Smr>: Send + Sync {
     /// Whether `key` is in the set. Uses an *unsynchronized traversal*
     /// (no writes to shared memory) for schemes that permit it.

@@ -26,7 +26,7 @@ use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::cell::Cell;
 use std::marker::PhantomData;
 
-use ts_smr::{Smr, SmrHandle};
+use ts_smr::{Guard, Smr, SmrHandle};
 
 use crate::set_trait::ConcurrentSet;
 
@@ -145,7 +145,7 @@ impl<S: Smr> SkipList<S> {
     /// lock and validate them safely.
     fn find(
         &self,
-        h: &S::Handle,
+        g: &Guard<'_, S::Handle>,
         key: u64,
         preds: &mut [*mut SkipNode; MAX_HEIGHT],
         succs: &mut [*mut SkipNode; MAX_HEIGHT],
@@ -162,7 +162,7 @@ impl<S: Smr> SkipList<S> {
                 // SAFETY: pred is the sentinel or protected
                 // (higher-level slot).
                 let mut pred_field: &AtomicPtr<u8> = unsafe { &(*pred).next[level] };
-                let mut curr = h.load_protected(curr_slot, pred_field) as *mut SkipNode;
+                let mut curr = g.load(curr_slot, pred_field) as *mut SkipNode;
                 // The protection chain requires that pred was live when
                 // its field was read; marking is monotonic, so a
                 // post-load check suffices. A marked pred's (stale) next
@@ -186,7 +186,7 @@ impl<S: Smr> SkipList<S> {
                     std::mem::swap(&mut pred_slot, &mut curr_slot);
                     // SAFETY: pred protected in pred_slot.
                     pred_field = unsafe { &(*pred).next[level] };
-                    curr = h.load_protected(curr_slot, pred_field) as *mut SkipNode;
+                    curr = g.load(curr_slot, pred_field) as *mut SkipNode;
                     if Self::pred_died(pred) {
                         continue 'retry;
                     }
@@ -270,10 +270,10 @@ impl<S: Smr> ConcurrentSet<S> for SkipList<S> {
     /// Wait-free, lock-free, write-free membership test — the
     /// "unsynchronized traversal" of the paper's introduction.
     fn contains(&self, h: &S::Handle, key: u64) -> bool {
-        h.begin_op();
+        let g = h.pin();
         // Two roving slots; protection moves by swapping roles, and the
         // traversal restarts if a pred turns out deleted (see `find`).
-        let result = 'retry: loop {
+        'retry: loop {
             let mut pred_slot = 2 * MAX_HEIGHT;
             let mut curr_slot = 2 * MAX_HEIGHT + 1;
             let mut pred: *mut SkipNode = self.sentinel();
@@ -281,7 +281,7 @@ impl<S: Smr> ConcurrentSet<S> for SkipList<S> {
             for level in (0..MAX_HEIGHT).rev() {
                 // SAFETY: pred protected in pred_slot (or the sentinel).
                 let mut pred_field: &AtomicPtr<u8> = unsafe { &(*pred).next[level] };
-                let mut curr = h.load_protected(curr_slot, pred_field) as *mut SkipNode;
+                let mut curr = g.load(curr_slot, pred_field) as *mut SkipNode;
                 if Self::pred_died(pred) {
                     continue 'retry;
                 }
@@ -304,7 +304,7 @@ impl<S: Smr> ConcurrentSet<S> for SkipList<S> {
                     std::mem::swap(&mut pred_slot, &mut curr_slot);
                     // SAFETY: pred protected in pred_slot.
                     pred_field = unsafe { &(*pred).next[level] };
-                    curr = h.load_protected(curr_slot, pred_field) as *mut SkipNode;
+                    curr = g.load(curr_slot, pred_field) as *mut SkipNode;
                     if Self::pred_died(pred) {
                         continue 'retry;
                     }
@@ -320,19 +320,17 @@ impl<S: Smr> ConcurrentSet<S> for SkipList<S> {
                 let node = unsafe { &*found };
                 node.fully_linked.load(Ordering::Acquire) && !node.marked.load(Ordering::Acquire)
             };
-        };
-        h.end_op();
-        result
+        }
     }
 
     fn insert(&self, h: &S::Handle, key: u64) -> bool {
-        debug_assert!(h.protection_slots() >= REQUIRED_SLOTS);
-        h.begin_op();
+        let g = h.pin();
+        debug_assert!(g.protection_slots().is_none_or(|n| n >= REQUIRED_SLOTS));
         let top = random_top_level();
         let mut preds = [std::ptr::null_mut(); MAX_HEIGHT];
         let mut succs = [std::ptr::null_mut(); MAX_HEIGHT];
-        let result = 'retry: loop {
-            if let Some(lfound) = self.find(h, key, &mut preds, &mut succs) {
+        'retry: loop {
+            if let Some(lfound) = self.find(&g, key, &mut preds, &mut succs) {
                 let found = succs[lfound];
                 // SAFETY: protected by find.
                 let found_node = unsafe { &*found };
@@ -365,21 +363,19 @@ impl<S: Smr> ConcurrentSet<S> for SkipList<S> {
             node_ref.fully_linked.store(true, Ordering::Release);
             Self::unlock_preds(&preds, locked);
             break 'retry true;
-        };
-        h.end_op();
-        result
+        }
     }
 
     fn remove(&self, h: &S::Handle, key: u64) -> bool {
-        debug_assert!(h.protection_slots() >= REQUIRED_SLOTS);
-        h.begin_op();
+        let g = h.pin();
+        debug_assert!(g.protection_slots().is_none_or(|n| n >= REQUIRED_SLOTS));
         let mut preds = [std::ptr::null_mut(); MAX_HEIGHT];
         let mut succs = [std::ptr::null_mut(); MAX_HEIGHT];
         let mut victim: *mut SkipNode = std::ptr::null_mut();
         let mut marked_by_us = false;
         let mut top = 0usize;
-        let result = 'retry: loop {
-            let lfound = self.find(h, key, &mut preds, &mut succs);
+        'retry: loop {
+            let lfound = self.find(&g, key, &mut preds, &mut succs);
             if !marked_by_us {
                 let Some(level) = lfound else {
                     break 'retry false;
@@ -425,16 +421,14 @@ impl<S: Smr> ConcurrentSet<S> for SkipList<S> {
             // SAFETY: unlinked from every level; the mark ownership makes
             // this the unique retire.
             unsafe {
-                h.retire(
+                g.retire(
                     victim as usize,
                     core::mem::size_of::<SkipNode>(),
                     drop_skip_node,
                 )
             };
             break 'retry true;
-        };
-        h.end_op();
-        result
+        }
     }
 
     fn kind(&self) -> &'static str {

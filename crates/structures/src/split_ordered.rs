@@ -22,7 +22,7 @@
 use core::marker::PhantomData;
 use core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
-use ts_smr::{Smr, SmrHandle};
+use ts_smr::{Guard, Smr, SmrHandle};
 
 use crate::set_trait::ConcurrentSet;
 use crate::tagged::{is_marked, marked, untagged};
@@ -216,20 +216,20 @@ impl<S: Smr> SplitOrderedSet<S> {
 
     /// Returns the (immortal) dummy node for `bucket`, lazily threading it
     /// — and transitively its ancestors' — into the list.
-    fn bucket_dummy(&self, h: &S::Handle, bucket: usize) -> *mut SoNode {
+    fn bucket_dummy(&self, g: &Guard<'_, S::Handle>, bucket: usize) -> *mut SoNode {
         let entry = self.bucket_entry(bucket);
         let existing = entry.load(Ordering::Acquire);
         if !existing.is_null() {
             return existing as *mut SoNode;
         }
-        let parent = self.bucket_dummy(h, Self::parent(bucket));
+        let parent = self.bucket_dummy(g, Self::parent(bucket));
         let skey = so_dummy_key(bucket);
         // Insert-if-absent of the dummy starting at the parent's chain.
         let node = Box::into_raw(SoNode::new(skey, 0, std::ptr::null_mut()));
         let dummy = loop {
             // SAFETY: parent dummies are immortal.
             let start = unsafe { &(*parent).next };
-            let (prev, curr) = self.search_from(h, start, skey, 0);
+            let (prev, curr) = self.search_from(g, start, skey, 0);
             if !curr.is_null() {
                 // SAFETY: curr is protected by search_from's final state.
                 let c = unsafe { &*curr };
@@ -273,7 +273,7 @@ impl<S: Smr> SplitOrderedSet<S> {
     /// and retires marked nodes on the way.
     fn search_from(
         &self,
-        h: &S::Handle,
+        g: &Guard<'_, S::Handle>,
         start: &AtomicPtr<u8>,
         target_skey: u64,
         target_key: u64,
@@ -284,7 +284,7 @@ impl<S: Smr> SplitOrderedSet<S> {
             let mut prev_slot = SLOT_B;
             // SAFETY: `prev` is `start` (immortal dummy field / head) or a
             // protected node's field.
-            let mut curr = h.load_protected(curr_slot, unsafe { &*prev });
+            let mut curr = g.load(curr_slot, unsafe { &*prev });
             loop {
                 let curr_node_ptr = untagged(curr) as *mut SoNode;
                 if curr_node_ptr.is_null() {
@@ -293,7 +293,7 @@ impl<S: Smr> SplitOrderedSet<S> {
                 // SAFETY: protected (hazard) or grace-protected.
                 let curr_node = unsafe { &*curr_node_ptr };
                 let next_slot = SLOT_A + SLOT_B + SLOT_C - prev_slot - curr_slot;
-                let next = h.load_protected(next_slot, &curr_node.next);
+                let next = g.load(next_slot, &curr_node.next);
                 if is_marked(next) {
                     // Logically deleted: help unlink, then retire.
                     // SAFETY: prev field as above.
@@ -307,7 +307,7 @@ impl<S: Smr> SplitOrderedSet<S> {
                             debug_assert!(!curr_node.is_dummy(), "dummies are never marked");
                             // SAFETY: the winning unlink owns the retire.
                             unsafe {
-                                h.retire(
+                                g.retire(
                                     curr_node_ptr as usize,
                                     core::mem::size_of::<SoNode>(),
                                     drop_so_node,
@@ -368,16 +368,16 @@ impl<S: Smr> Default for SplitOrderedSet<S> {
 
 impl<S: Smr> ConcurrentSet<S> for SplitOrderedSet<S> {
     fn contains(&self, h: &S::Handle, key: u64) -> bool {
-        h.begin_op();
+        let g = h.pin();
         let hash = hash64(key);
         let skey = so_regular_key(hash);
         let size = self.size.load(Ordering::Acquire);
-        let dummy = self.bucket_dummy(h, (hash as usize) & (size - 1));
+        let dummy = self.bucket_dummy(&g, (hash as usize) & (size - 1));
         // Read-only walk with two alternating slots (HarrisList protocol).
-        let result = 'retry: loop {
+        'retry: loop {
             let mut slot = SLOT_A;
             // SAFETY: dummies are immortal.
-            let mut curr = h.load_protected(slot, unsafe { &(*dummy).next });
+            let mut curr = g.load(slot, unsafe { &(*dummy).next });
             loop {
                 let node_ptr = untagged(curr) as *const SoNode;
                 if node_ptr.is_null() {
@@ -386,7 +386,7 @@ impl<S: Smr> ConcurrentSet<S> for SplitOrderedSet<S> {
                 // SAFETY: protected (hazard) or grace-protected.
                 let node = unsafe { &*node_ptr };
                 let other = SLOT_A + SLOT_B - slot;
-                let next = h.load_protected(other, &node.next);
+                let next = g.load(other, &node.next);
                 if !so_less((node.skey, node.key), (skey, key)) {
                     break 'retry node.skey == skey && node.key == key && !is_marked(next);
                 }
@@ -398,22 +398,20 @@ impl<S: Smr> ConcurrentSet<S> for SplitOrderedSet<S> {
                 slot = other;
                 curr = next;
             }
-        };
-        h.end_op();
-        result
+        }
     }
 
     fn insert(&self, h: &S::Handle, key: u64) -> bool {
-        h.begin_op();
+        let g = h.pin();
         let hash = hash64(key);
         let skey = so_regular_key(hash);
         let size = self.size.load(Ordering::Acquire);
-        let dummy = self.bucket_dummy(h, (hash as usize) & (size - 1));
+        let dummy = self.bucket_dummy(&g, (hash as usize) & (size - 1));
         let node = Box::into_raw(SoNode::new(skey, key, std::ptr::null_mut()));
-        let result = loop {
+        loop {
             // SAFETY: dummies are immortal.
             let start = unsafe { &(*dummy).next };
-            let (prev, curr) = self.search_from(h, start, skey, key);
+            let (prev, curr) = self.search_from(&g, start, skey, key);
             if !curr.is_null() {
                 // SAFETY: protected by search_from's final state.
                 let c = unsafe { &*curr };
@@ -439,21 +437,19 @@ impl<S: Smr> ConcurrentSet<S> for SplitOrderedSet<S> {
                 }
                 Err(_) => continue,
             }
-        };
-        h.end_op();
-        result
+        }
     }
 
     fn remove(&self, h: &S::Handle, key: u64) -> bool {
-        h.begin_op();
+        let g = h.pin();
         let hash = hash64(key);
         let skey = so_regular_key(hash);
         let size = self.size.load(Ordering::Acquire);
-        let dummy = self.bucket_dummy(h, (hash as usize) & (size - 1));
-        let result = loop {
+        let dummy = self.bucket_dummy(&g, (hash as usize) & (size - 1));
+        loop {
             // SAFETY: dummies are immortal.
             let start = unsafe { &(*dummy).next };
-            let (prev, curr) = self.search_from(h, start, skey, key);
+            let (prev, curr) = self.search_from(&g, start, skey, key);
             if curr.is_null() {
                 break false;
             }
@@ -485,16 +481,14 @@ impl<S: Smr> ConcurrentSet<S> for SplitOrderedSet<S> {
                 {
                     // SAFETY: we performed the unlink; single retire.
                     unsafe {
-                        h.retire(curr as usize, core::mem::size_of::<SoNode>(), drop_so_node)
+                        g.retire(curr as usize, core::mem::size_of::<SoNode>(), drop_so_node)
                     };
                 } else {
-                    let _ = self.search_from(h, start, skey, key); // helper unlinks
+                    let _ = self.search_from(&g, start, skey, key); // helper unlinks
                 }
                 break true;
             }
-        };
-        h.end_op();
-        result
+        }
     }
 
     fn kind(&self) -> &'static str {

@@ -8,8 +8,11 @@
 //! * [`dist`] — key distributions (uniform per the paper; zipfian for the
 //!   skew ablation);
 //! * [`mix`] — deterministic per-thread operation streams;
-//! * [`runner`] — the generic measurement loop, monomorphized over all
-//!   every (scheme × structure) combination;
+//! * [`registry`] — the scheme and structure factories
+//!   ([`SchemeKind::build`], [`StructureKind::build_set`]): one line per
+//!   variant, the only harness code that names concrete types;
+//! * [`runner`] — the measurement loop, driving registry-built
+//!   `Arc<dyn DynSmr>` / `Arc<dyn ConcurrentSet<_>>` objects;
 //! * [`report`] — figure-style series tables + JSON lines.
 
 #![warn(missing_docs)]
@@ -20,6 +23,7 @@ pub mod json;
 pub mod mix;
 pub mod params;
 pub mod pq;
+pub mod registry;
 pub mod report;
 pub mod runner;
 
@@ -28,4 +32,4 @@ pub use mix::{prefill_keys, Op, OpMix};
 pub use params::{SchemeKind, StructureKind, WorkloadParams};
 pub use pq::{run_pq_combo, PqParams};
 pub use report::Report;
-pub use runner::{run_combo, RunResult, ThreadScanExtras};
+pub use runner::{run_combo, AllocExtras, RunResult, ThreadScanExtras};

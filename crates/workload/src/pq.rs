@@ -13,12 +13,12 @@ use std::time::Duration;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use ts_sigscan::SignalPlatform;
-use ts_smr::{EpochScheme, HazardPointers, Leaky, Smr, StackTrackSim, ThreadScanSmr};
-use ts_structures::{PriorityQueue, PQ_REQUIRED_SLOTS};
+use ts_smr::dynamic::ErasedSmr;
+use ts_smr::{Smr, SmrHandle};
+use ts_structures::PriorityQueue;
 
-use crate::params::SchemeKind;
-use crate::runner::RunResult;
+use crate::params::{SchemeKind, StructureKind, WorkloadParams};
+use crate::runner::{quiesce_and_account, AllocBracket, RunResult};
 
 /// Parameters for one priority-queue cell.
 #[derive(Debug, Clone)]
@@ -66,50 +66,46 @@ impl PqParams {
         self.prefill = n;
         self
     }
+
+    /// The [`WorkloadParams`] equivalent of this cell, for the shared
+    /// scheme registry ([`SchemeKind::build`]); structure-shape fields
+    /// are irrelevant to scheme construction.
+    fn scheme_params(&self) -> WorkloadParams {
+        let mut p = WorkloadParams::fig3(StructureKind::List, self.threads)
+            .with_duration(self.duration)
+            .with_ts_buffer(self.ts_buffer_capacity);
+        p.slow_epoch_delay = Duration::from_millis(40);
+        p.slow_epoch_period_ops = 4096;
+        p
+    }
 }
 
 /// Drives one scheme × thread-count priority-queue cell.
+///
+/// Schemes come from the same registry as the set runner
+/// ([`SchemeKind::build`]); the queue is driven through the erased
+/// adapter, so this function names no concrete scheme type.
 pub fn run_pq_combo(scheme: SchemeKind, params: &PqParams) -> RunResult {
-    match scheme {
-        SchemeKind::Leaky => {
-            let s = Arc::new(Leaky::new());
-            let (ops, secs) = drive_pq(&s, params);
-            finish(scheme, params, ops, secs, None, Some(s.leaked()))
-        }
-        SchemeKind::Hazard => {
-            let s = Arc::new(HazardPointers::with_params(PQ_REQUIRED_SLOTS, 64));
-            let (ops, secs) = drive_pq(&s, params);
-            s.quiesce();
-            finish(scheme, params, ops, secs, Some(s.outstanding()), None)
-        }
-        SchemeKind::Epoch => {
-            let s = Arc::new(EpochScheme::with_threshold(1024));
-            let (ops, secs) = drive_pq(&s, params);
-            s.quiesce();
-            finish(scheme, params, ops, secs, Some(s.outstanding()), None)
-        }
-        SchemeKind::SlowEpoch => {
-            let s = Arc::new(EpochScheme::slow(1024, Duration::from_millis(40), 4096));
-            let (ops, secs) = drive_pq(&s, params);
-            s.quiesce();
-            finish(scheme, params, ops, secs, Some(s.outstanding()), None)
-        }
-        SchemeKind::StackTrack => {
-            let s = Arc::new(StackTrackSim::new());
-            let (ops, secs) = drive_pq(&s, params);
-            s.quiesce();
-            finish(scheme, params, ops, secs, Some(s.outstanding()), None)
-        }
-        SchemeKind::ThreadScan => {
-            let platform =
-                SignalPlatform::new().expect("signal platform unavailable on this system");
-            let config = threadscan::CollectorConfig::default()
-                .with_buffer_capacity(params.ts_buffer_capacity);
-            let s = Arc::new(ThreadScanSmr::with_config(platform, config));
-            let (ops, secs) = drive_pq(&s, params);
-            s.quiesce();
-            finish(scheme, params, ops, secs, Some(s.outstanding()), None)
-        }
+    let dyn_scheme = scheme.build(&params.scheme_params());
+    let erased = Arc::new(ErasedSmr::new(Arc::clone(&dyn_scheme)));
+
+    let alloc_bracket = AllocBracket::open();
+    let (ops, secs) = drive_pq(&erased, params);
+    let (outstanding_after, leaked) = quiesce_and_account(&*dyn_scheme);
+    let alloc = alloc_bracket.close();
+
+    RunResult {
+        scheme: scheme.label().to_string(),
+        structure: "priority-queue".to_string(),
+        threads: params.threads,
+        duration_s: secs,
+        total_ops: ops,
+        ops_per_sec: ops as f64 / secs.max(1e-9),
+        outstanding_after,
+        leaked,
+        protection_slots: erased.register().protection_slots(),
+        threadscan: None,
+        alloc,
     }
 }
 
@@ -168,27 +164,6 @@ fn drive_pq<S: Smr>(scheme: &Arc<S>, params: &PqParams) -> (u64, f64) {
 
     let elapsed = elapsed_holder.load(Ordering::Relaxed) as f64 / 1e6;
     (total_ops.load(Ordering::Relaxed), elapsed)
-}
-
-fn finish(
-    scheme: SchemeKind,
-    params: &PqParams,
-    ops: u64,
-    secs: f64,
-    outstanding: Option<usize>,
-    leaked: Option<usize>,
-) -> RunResult {
-    RunResult {
-        scheme: scheme.label().to_string(),
-        structure: "priority-queue".to_string(),
-        threads: params.threads,
-        duration_s: secs,
-        total_ops: ops,
-        ops_per_sec: ops as f64 / secs.max(1e-9),
-        outstanding_after: outstanding,
-        leaked,
-        threadscan: None,
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,165 @@
+//! The scheme and structure registries — the two single-line-per-variant
+//! factories that replaced the runner's nested `SchemeKind ×
+//! StructureKind` dispatch match.
+//!
+//! Adding a scheme is now: implement [`ts_smr::Smr`] in its own module,
+//! add a [`SchemeKind`] variant, and add one arm to [`SchemeKind::build`].
+//! Adding a structure is: implement [`ConcurrentSet`] in its own module,
+//! add a [`StructureKind`] variant, and add one arm to
+//! [`StructureKind::build_set`]. Nothing else in the harness changes —
+//! the runner drives `Arc<dyn DynSmr>` / `Arc<dyn ConcurrentSet<_>>`
+//! objects and never names a concrete combination.
+
+use std::sync::Arc;
+
+use ts_sigscan::SignalPlatform;
+use ts_smr::dynamic::DynSmr;
+use ts_smr::{EpochScheme, HazardPointers, Leaky, Smr, StackTrackSim, ThreadScanSmr};
+use ts_structures::{
+    ConcurrentSet, HarrisList, LazyList, LockFreeHashTable, SkipList, SplitOrderedSet,
+    PQ_REQUIRED_SLOTS, REQUIRED_SLOTS,
+};
+
+use crate::params::{SchemeKind, StructureKind, WorkloadParams};
+
+/// Hazard-pointer slots the harness provisions: enough for every
+/// registered structure (the skip list and the priority queue need the
+/// most — a slot pair per level plus two roving slots).
+pub const HARNESS_HAZARD_SLOTS: usize = if REQUIRED_SLOTS > PQ_REQUIRED_SLOTS {
+    REQUIRED_SLOTS
+} else {
+    PQ_REQUIRED_SLOTS
+};
+
+impl SchemeKind {
+    /// Builds this scheme, type-erased, configured from `params`.
+    ///
+    /// This is the scheme registry: one arm per variant, and the only
+    /// place in the harness that names concrete scheme types. Callers
+    /// hold the result as `Arc<dyn DynSmr>` and, to drive generic
+    /// structures with it, wrap it in
+    /// [`ErasedSmr`](ts_smr::dynamic::ErasedSmr).
+    ///
+    /// ```
+    /// use ts_smr::DynSmr;
+    /// use ts_workload::{SchemeKind, StructureKind, WorkloadParams};
+    ///
+    /// let params = WorkloadParams::fig3(StructureKind::List, 2);
+    /// let scheme = SchemeKind::Epoch.build(&params);
+    /// assert_eq!(scheme.name(), "epoch");
+    /// let handle = scheme.register_dyn();
+    /// handle.begin_op();
+    /// handle.end_op();
+    /// assert_eq!(scheme.outstanding(), 0);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// `SchemeKind::ThreadScan` panics when the process cannot install
+    /// its signal platform (no spare POSIX real-time signal).
+    pub fn build(self, params: &WorkloadParams) -> Arc<dyn DynSmr> {
+        match self {
+            SchemeKind::Leaky => Arc::new(Leaky::new()),
+            SchemeKind::Hazard => Arc::new(HazardPointers::with_params(HARNESS_HAZARD_SLOTS, 64)),
+            SchemeKind::Epoch => Arc::new(EpochScheme::with_threshold(1024)),
+            SchemeKind::SlowEpoch => Arc::new(EpochScheme::slow(
+                1024,
+                params.slow_epoch_delay,
+                params.slow_epoch_period_ops,
+            )),
+            SchemeKind::StackTrack => Arc::new(StackTrackSim::new()),
+            SchemeKind::ThreadScan => {
+                let platform =
+                    SignalPlatform::new().expect("signal platform unavailable on this system");
+                let mut config = threadscan::CollectorConfig::default()
+                    .with_buffer_capacity(params.ts_buffer_capacity)
+                    .with_distributed_frees(params.ts_distribute_frees)
+                    .with_match_mode(if params.ts_exact_match {
+                        threadscan::MatchMode::Exact
+                    } else {
+                        threadscan::MatchMode::Range
+                    });
+                if params.ts_shards > 0 {
+                    config = config.with_shards(params.ts_shards);
+                }
+                if params.ts_sort_threads > 0 {
+                    config = config.with_sort_threads(params.ts_sort_threads);
+                }
+                Arc::new(ThreadScanSmr::with_config(platform, config))
+            }
+        }
+    }
+}
+
+impl StructureKind {
+    /// Builds this structure for scheme `S`, type-erased behind the
+    /// [`ConcurrentSet`] trait and sized from `params`.
+    ///
+    /// This is the structure registry: one arm per variant. The runner
+    /// instantiates it at `S =` [`ErasedSmr`](ts_smr::dynamic::ErasedSmr)
+    /// (one monomorphization per structure, any scheme at runtime);
+    /// library users and the equivalence tests can instantiate it with a
+    /// concrete scheme for the zero-virtual-call fast path.
+    pub fn build_set<S: Smr>(self, params: &WorkloadParams) -> Arc<dyn ConcurrentSet<S>> {
+        match self {
+            StructureKind::List => Arc::new(HarrisList::<S>::new()),
+            StructureKind::Hash => Arc::new(LockFreeHashTable::<S>::for_expected_nodes(
+                params.initial_size,
+            )),
+            StructureKind::Skip => Arc::new(SkipList::<S>::new()),
+            StructureKind::Lazy => Arc::new(LazyList::<S>::new()),
+            // Start at a quarter of the resident size: the table splits its
+            // way to a sensible load factor during prefill, which is the
+            // behaviour this structure exists to exercise.
+            StructureKind::SplitOrdered => Arc::new(SplitOrderedSet::<S>::with_buckets(
+                (params.initial_size / 4).max(2),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_smr::dynamic::ErasedSmr;
+
+    #[test]
+    fn every_scheme_kind_builds_and_names_itself() {
+        let params = WorkloadParams::fig3(StructureKind::List, 2).scaled_down(64);
+        for kind in SchemeKind::EXTENDED {
+            let scheme = kind.build(&params);
+            assert_eq!(scheme.name(), kind.label(), "{kind:?}");
+            assert_eq!(scheme.outstanding(), 0);
+            scheme.quiesce(); // must be callable on a fresh scheme
+        }
+    }
+
+    #[test]
+    fn every_structure_kind_builds_for_an_erased_scheme() {
+        let params = WorkloadParams::fig3(StructureKind::List, 2).scaled_down(64);
+        let scheme = SchemeKind::Epoch.build(&params);
+        let erased = ErasedSmr::new(scheme);
+        let handle = erased.register();
+        for kind in StructureKind::EXTENDED {
+            let set = kind.build_set::<ErasedSmr>(&params);
+            assert!(set.insert(&handle, 7), "{kind:?}");
+            assert!(set.contains(&handle, 7));
+            assert!(set.remove(&handle, 7));
+            assert!(!set.contains(&handle, 7));
+        }
+    }
+
+    #[test]
+    fn harness_slots_cover_every_structure() {
+        const {
+            assert!(HARNESS_HAZARD_SLOTS >= REQUIRED_SLOTS);
+            assert!(HARNESS_HAZARD_SLOTS >= PQ_REQUIRED_SLOTS);
+        }
+        let params = WorkloadParams::fig3(StructureKind::Skip, 1).scaled_down(64);
+        let scheme = SchemeKind::Hazard.build(&params);
+        assert_eq!(
+            scheme.register_dyn().protection_slots(),
+            Some(HARNESS_HAZARD_SLOTS)
+        );
+    }
+}

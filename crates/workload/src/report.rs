@@ -110,7 +110,9 @@ mod tests {
             ops_per_sec: mops * 1e6,
             outstanding_after: Some(0),
             leaked: None,
+            protection_slots: None,
             threadscan: None,
+            alloc: None,
         }
     }
 

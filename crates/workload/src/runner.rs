@@ -5,19 +5,24 @@
 //! executes one (structure × scheme × threads) cell: prefill, start all
 //! worker threads behind a barrier, run the op mix for the measurement
 //! window, stop, and report completed operations.
+//!
+//! Dispatch is registry-based (see [`crate::registry`]): the scheme is
+//! built as `Arc<dyn DynSmr>`, wrapped in [`ErasedSmr`], and the
+//! structure as `Arc<dyn ConcurrentSet<ErasedSmr>>` — the runner never
+//! names a concrete (scheme × structure) pair. Scheme-specific report
+//! fields (Leaky's leak counter, ThreadScan's collector statistics) are
+//! recovered by downcasting through [`DynSmr::as_any`].
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
 use ts_sigscan::SignalPlatform;
-use ts_smr::{EpochScheme, HazardPointers, Leaky, Smr, StackTrackSim, ThreadScanSmr};
-use ts_structures::{
-    ConcurrentSet, HarrisList, LazyList, LockFreeHashTable, SkipList, SplitOrderedSet,
-    REQUIRED_SLOTS,
-};
+use ts_smr::dynamic::{DynSmr, ErasedSmr};
+use ts_smr::{Leaky, Smr, SmrHandle, ThreadScanSmr};
+use ts_structures::ConcurrentSet;
 
 use crate::mix::{prefill_keys, Op, OpMix};
-use crate::params::{SchemeKind, StructureKind, WorkloadParams};
+use crate::params::{SchemeKind, WorkloadParams};
 
 /// ThreadScan-specific counters attached to a run.
 #[derive(Debug, Clone, Default)]
@@ -61,6 +66,57 @@ pub struct ThreadScanExtras {
     pub shard_sizes: Vec<usize>,
 }
 
+/// Allocator-counter deltas over one run (the `ts-alloc-nodes` feature;
+/// meaningful only in binaries that install `ts_alloc` as the global
+/// allocator, e.g. `ablation_allocator --real-alloc`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllocExtras {
+    /// Small (size-class) allocations served during the run.
+    pub small_allocs: usize,
+    /// Small blocks freed during the run.
+    pub small_frees: usize,
+    /// Large (passthrough) allocations.
+    pub large_allocs: usize,
+    /// Large frees.
+    pub large_frees: usize,
+    /// 64 KiB spans carved from the system allocator.
+    pub spans: usize,
+    /// Bytes reserved in new spans.
+    pub span_bytes: usize,
+    /// Thread-cache refills from the central depot (one lock each).
+    pub cache_fills: usize,
+    /// Thread-cache flushes to the central depot.
+    pub cache_flushes: usize,
+}
+
+impl AllocExtras {
+    /// Small allocations per depot-lock acquisition during the run — the
+    /// amortization the thread-caching design exists to provide.
+    pub fn allocs_per_lock(&self) -> f64 {
+        let locks = self.cache_fills + self.cache_flushes;
+        if locks == 0 {
+            0.0
+        } else {
+            self.small_allocs as f64 / locks as f64
+        }
+    }
+
+    /// Renders as one JSON object (see [`crate::json`]).
+    pub fn to_json(&self) -> String {
+        crate::json::ObjectBuilder::new()
+            .num("small_allocs", self.small_allocs as f64)
+            .num("small_frees", self.small_frees as f64)
+            .num("large_allocs", self.large_allocs as f64)
+            .num("large_frees", self.large_frees as f64)
+            .num("spans", self.spans as f64)
+            .num("span_bytes", self.span_bytes as f64)
+            .num("cache_fills", self.cache_fills as f64)
+            .num("cache_flushes", self.cache_flushes as f64)
+            .num("allocs_per_lock", self.allocs_per_lock())
+            .build()
+    }
+}
+
 /// One measured cell.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -81,8 +137,14 @@ pub struct RunResult {
     pub outstanding_after: Option<usize>,
     /// Nodes intentionally leaked (Leaky only).
     pub leaked: Option<usize>,
+    /// The scheme's per-handle protection-slot budget; `None` for schemes
+    /// with no per-reference state (epoch, ThreadScan, leaky).
+    pub protection_slots: Option<usize>,
     /// ThreadScan internals (ThreadScan only).
     pub threadscan: Option<ThreadScanExtras>,
+    /// Allocator-counter deltas (`ts-alloc-nodes` builds whose binary
+    /// routed allocation through `ts_alloc`; `None` otherwise).
+    pub alloc: Option<AllocExtras>,
 }
 
 impl ThreadScanExtras {
@@ -118,6 +180,10 @@ impl RunResult {
             Some(extras) => extras.to_json(),
             None => "null".to_string(),
         };
+        let alloc = match &self.alloc {
+            Some(extras) => extras.to_json(),
+            None => "null".to_string(),
+        };
         crate::json::ObjectBuilder::new()
             .str("scheme", &self.scheme)
             .str("structure", &self.structure)
@@ -130,17 +196,21 @@ impl RunResult {
                 self.outstanding_after.map(|v| v as f64),
             )
             .opt_num("leaked", self.leaked.map(|v| v as f64))
+            .opt_num("protection_slots", self.protection_slots.map(|v| v as f64))
             .raw("threadscan", &ts)
+            .raw("alloc", &alloc)
             .build()
     }
 }
 
-/// Drives `set` under `scheme` per `params`. Generic core shared by all
-/// twenty-four (scheme × structure) combinations.
+/// Drives `set` under `scheme` per `params`. The generic measurement
+/// core: the harness instantiates it once at `S = ErasedSmr` (any scheme
+/// at runtime); library users may instantiate it with concrete types for
+/// a zero-virtual-call measurement loop.
 fn drive<S, T>(scheme: &Arc<S>, set: &Arc<T>, params: &WorkloadParams) -> (u64, f64)
 where
     S: Smr,
-    T: ConcurrentSet<S> + 'static,
+    T: ConcurrentSet<S> + ?Sized + 'static,
 {
     // Prefill from a temporary handle (deterministic half-density).
     {
@@ -215,142 +285,113 @@ where
     (ops, elapsed)
 }
 
-/// Runs one experiment cell, dispatching on scheme and structure.
+/// ThreadScan-specific report fields, recovered from the erased scheme by
+/// downcast. Must run *before* the end-of-run quiesce: its small drain
+/// phases would dilute the per-phase latency/sort means and overwrite the
+/// last in-run shard sizes, and the extras should describe the measured
+/// window.
+fn threadscan_extras(scheme: &dyn DynSmr) -> Option<ThreadScanExtras> {
+    let ts = scheme
+        .as_any()
+        .downcast_ref::<ThreadScanSmr<SignalPlatform>>()?;
+    let st = ts.stats();
+    let shard_sizes = ts.collector().last_shard_sizes();
+    Some(ThreadScanExtras {
+        collects: st.collects,
+        words_scanned: st.words_scanned,
+        freed: st.freed,
+        survivors: st.survivors,
+        threads_scanned: st.threads_scanned,
+        mean_collect_us: st.mean_collect_us(),
+        max_collect_us: st.max_collect_us(),
+        mean_sort_us: st.mean_sort_us(),
+        mean_sort_cpu_us: st.mean_sort_cpu_us(),
+        collect_us_p50: st.collect_us_percentile(0.50),
+        collect_us_p95: st.collect_us_percentile(0.95),
+        collect_us_p99: st.collect_us_percentile(0.99),
+        collect_ns_hist: st.collect_ns_hist.to_vec(),
+        max_shard_len: st.max_shard_len,
+        shard_sizes,
+    })
+}
+
+/// Scheme-specific accounting shared by the set and priority-queue
+/// runners: quiesces, then splits the post-quiesce count into
+/// `outstanding_after` (reclaiming schemes) vs `leaked` (Leaky, whose
+/// "outstanding" is intentional leakage and must not read as a deficit).
+pub(crate) fn quiesce_and_account(scheme: &dyn DynSmr) -> (Option<usize>, Option<usize>) {
+    scheme.quiesce();
+    match scheme.as_any().downcast_ref::<Leaky>() {
+        Some(leaky) => (None, Some(leaky.leaked())),
+        None => (Some(scheme.outstanding()), None),
+    }
+}
+
+/// Allocator-counter snapshot bracket for the `ts-alloc-nodes` feature:
+/// returns `None` when the counters did not move (the binary did not
+/// route allocation through `ts_alloc`), so reports stay honest.
+#[cfg(feature = "ts-alloc-nodes")]
+pub(crate) struct AllocBracket(ts_alloc::AllocStats);
+
+#[cfg(feature = "ts-alloc-nodes")]
+impl AllocBracket {
+    pub(crate) fn open() -> Self {
+        Self(ts_alloc::stats())
+    }
+
+    pub(crate) fn close(self) -> Option<AllocExtras> {
+        let b = self.0;
+        let a = ts_alloc::stats();
+        let delta = AllocExtras {
+            small_allocs: a.small_allocs - b.small_allocs,
+            small_frees: a.small_frees - b.small_frees,
+            large_allocs: a.large_allocs - b.large_allocs,
+            large_frees: a.large_frees - b.large_frees,
+            spans: a.spans - b.spans,
+            span_bytes: a.span_bytes - b.span_bytes,
+            cache_fills: a.cache_fills - b.cache_fills,
+            cache_flushes: a.cache_flushes - b.cache_flushes,
+        };
+        (delta != AllocExtras::default()).then_some(delta)
+    }
+}
+
+/// No-op stand-in when the feature is off: `close` always yields `None`.
+#[cfg(not(feature = "ts-alloc-nodes"))]
+pub(crate) struct AllocBracket;
+
+#[cfg(not(feature = "ts-alloc-nodes"))]
+impl AllocBracket {
+    pub(crate) fn open() -> Self {
+        Self
+    }
+
+    pub(crate) fn close(self) -> Option<AllocExtras> {
+        None
+    }
+}
+
+/// Runs one experiment cell through the scheme and structure registries.
+///
+/// No (scheme × structure) dispatch happens here: [`SchemeKind::build`]
+/// yields the scheme as `Arc<dyn DynSmr>`, [`StructureKind::build_set`]
+/// the structure as `Arc<dyn ConcurrentSet<ErasedSmr>>`, and the generic
+/// measurement loop drives the pair through the erased adapter.
+///
+/// [`StructureKind::build_set`]: crate::params::StructureKind::build_set
 pub fn run_combo(scheme: SchemeKind, params: &WorkloadParams) -> RunResult {
-    match scheme {
-        SchemeKind::Leaky => {
-            let s = Arc::new(Leaky::new());
-            let (ops, secs) = drive_structure(&s, params);
-            finish(scheme, params, ops, secs, None, Some(s.leaked()), None)
-        }
-        SchemeKind::Hazard => {
-            let s = Arc::new(HazardPointers::with_params(REQUIRED_SLOTS, 64));
-            let (ops, secs) = drive_structure(&s, params);
-            s.quiesce();
-            finish(scheme, params, ops, secs, Some(s.outstanding()), None, None)
-        }
-        SchemeKind::Epoch => {
-            let s = Arc::new(EpochScheme::with_threshold(1024));
-            let (ops, secs) = drive_structure(&s, params);
-            s.quiesce();
-            finish(scheme, params, ops, secs, Some(s.outstanding()), None, None)
-        }
-        SchemeKind::SlowEpoch => {
-            let s = Arc::new(EpochScheme::slow(
-                1024,
-                params.slow_epoch_delay,
-                params.slow_epoch_period_ops,
-            ));
-            let (ops, secs) = drive_structure(&s, params);
-            s.quiesce();
-            finish(scheme, params, ops, secs, Some(s.outstanding()), None, None)
-        }
-        SchemeKind::StackTrack => {
-            let s = Arc::new(StackTrackSim::new());
-            let (ops, secs) = drive_structure(&s, params);
-            s.quiesce();
-            finish(scheme, params, ops, secs, Some(s.outstanding()), None, None)
-        }
-        SchemeKind::ThreadScan => {
-            let platform =
-                SignalPlatform::new().expect("signal platform unavailable on this system");
-            let mut config = threadscan::CollectorConfig::default()
-                .with_buffer_capacity(params.ts_buffer_capacity)
-                .with_distributed_frees(params.ts_distribute_frees)
-                .with_match_mode(if params.ts_exact_match {
-                    threadscan::MatchMode::Exact
-                } else {
-                    threadscan::MatchMode::Range
-                });
-            if params.ts_shards > 0 {
-                config = config.with_shards(params.ts_shards);
-            }
-            if params.ts_sort_threads > 0 {
-                config = config.with_sort_threads(params.ts_sort_threads);
-            }
-            let s = Arc::new(ThreadScanSmr::with_config(platform, config));
-            let (ops, secs) = drive_structure(&s, params);
-            // Snapshot stats and shard layout before the quiesce: its
-            // small end-of-run drain phases would dilute the per-phase
-            // latency/sort means and overwrite the last in-run shard
-            // sizes, and the extras should describe the measured window.
-            // (`outstanding` is still read after the quiesce below.)
-            let st = s.stats();
-            let shard_sizes = s.collector().last_shard_sizes();
-            s.quiesce();
-            let extras = ThreadScanExtras {
-                collects: st.collects,
-                words_scanned: st.words_scanned,
-                freed: st.freed,
-                survivors: st.survivors,
-                threads_scanned: st.threads_scanned,
-                mean_collect_us: st.mean_collect_us(),
-                max_collect_us: st.max_collect_us(),
-                mean_sort_us: st.mean_sort_us(),
-                mean_sort_cpu_us: st.mean_sort_cpu_us(),
-                collect_us_p50: st.collect_us_percentile(0.50),
-                collect_us_p95: st.collect_us_percentile(0.95),
-                collect_us_p99: st.collect_us_percentile(0.99),
-                collect_ns_hist: st.collect_ns_hist.to_vec(),
-                max_shard_len: st.max_shard_len,
-                shard_sizes,
-            };
-            finish(
-                scheme,
-                params,
-                ops,
-                secs,
-                Some(s.outstanding()),
-                None,
-                Some(extras),
-            )
-        }
-    }
-}
+    let dyn_scheme = scheme.build(params);
+    let erased = Arc::new(ErasedSmr::new(Arc::clone(&dyn_scheme)));
+    let set = params.structure.build_set::<ErasedSmr>(params);
 
-/// Dispatches on the structure kind for a concrete scheme type.
-fn drive_structure<S: Smr>(scheme: &Arc<S>, params: &WorkloadParams) -> (u64, f64) {
-    match params.structure {
-        StructureKind::List => {
-            let set = Arc::new(HarrisList::<S>::new());
-            drive(scheme, &set, params)
-        }
-        StructureKind::Hash => {
-            let set = Arc::new(LockFreeHashTable::<S>::for_expected_nodes(
-                params.initial_size,
-            ));
-            drive(scheme, &set, params)
-        }
-        StructureKind::Skip => {
-            let set = Arc::new(SkipList::<S>::new());
-            drive(scheme, &set, params)
-        }
-        StructureKind::Lazy => {
-            let set = Arc::new(LazyList::<S>::new());
-            drive(scheme, &set, params)
-        }
-        StructureKind::SplitOrdered => {
-            // Start at a quarter of the resident size: the table splits its
-            // way to a sensible load factor during prefill, which is the
-            // behaviour this structure exists to exercise.
-            let set = Arc::new(SplitOrderedSet::<S>::with_buckets(
-                (params.initial_size / 4).max(2),
-            ));
-            drive(scheme, &set, params)
-        }
-    }
-}
+    let alloc_bracket = AllocBracket::open();
+    let (ops, secs) = drive(&erased, &set, params);
 
-#[allow(clippy::too_many_arguments)]
-fn finish(
-    scheme: SchemeKind,
-    params: &WorkloadParams,
-    ops: u64,
-    secs: f64,
-    outstanding: Option<usize>,
-    leaked: Option<usize>,
-    ts: Option<ThreadScanExtras>,
-) -> RunResult {
+    let ts = threadscan_extras(&*dyn_scheme); // before quiesce (see docs)
+    let (outstanding_after, leaked) = quiesce_and_account(&*dyn_scheme);
+    let alloc = alloc_bracket.close();
+    let protection_slots = erased.register().protection_slots();
+
     RunResult {
         scheme: scheme.label().to_string(),
         structure: params.structure.label().to_string(),
@@ -358,15 +399,18 @@ fn finish(
         duration_s: secs,
         total_ops: ops,
         ops_per_sec: ops as f64 / secs.max(1e-9),
-        outstanding_after: outstanding,
+        outstanding_after,
         leaked,
+        protection_slots,
         threadscan: ts,
+        alloc,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::StructureKind;
     use std::time::Duration;
 
     fn quick(structure: StructureKind, threads: usize) -> WorkloadParams {

@@ -141,7 +141,7 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
-        /// Type-erases the strategy (needed by [`prop_oneof!`]).
+        /// Type-erases the strategy (needed by `prop_oneof!`).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
             Self: Sized + 'static,
@@ -199,7 +199,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between boxed alternatives ([`prop_oneof!`]).
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
     pub struct Union<V>(Vec<BoxedStrategy<V>>);
 
     impl<V> Union<V> {
@@ -368,7 +368,7 @@ pub mod collection {
         }
     }
 
-    /// Output of [`vec`].
+    /// Output of [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
