@@ -70,10 +70,23 @@ impl LocalBuffer {
 
     /// Number of records currently buffered (approximate under concurrency;
     /// exact when called by the owner with no concurrent drain).
+    ///
+    /// Relaxed from `Acquire`/`Acquire` (scenarios:
+    /// `lemma1_acquire_release_vs_retire_2threads`,
+    /// `lemma1_scan_free_handshake_3threads`): this is a pure occupancy
+    /// probe — no slot contents are read on its strength. Both indices
+    /// are monotonic, so a stale `head` or `tail` only misreports the
+    /// *count*: the owner sees its own `head` exactly (same-thread
+    /// coherence) and at worst a stale `tail` that over-estimates
+    /// occupancy, triggering a spurious collect that re-checks under the
+    /// reclaimer lock (`collect_for` skips if the buffer is no longer
+    /// full); cross-thread readers (`pending_estimate`) are documented
+    /// racy diagnostics. Slot hand-off ordering lives entirely in
+    /// `push`/`drain_into`.
     #[inline]
     pub fn len(&self) -> usize {
-        let head = self.head.load(Ordering::Acquire);
-        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
         head.wrapping_sub(tail)
     }
 

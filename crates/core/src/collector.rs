@@ -214,7 +214,19 @@ impl<P: Platform> Collector<P> {
             .add(&self.stats.sort_cpu_ns_total, master.sort_cpu_ns());
         self.stats.record_shard_sizes(master.shard_sizes());
         let session = master.session();
+        #[cfg(not(ts_mutate_ordering))]
         let outcome = self.platform.scan_all(&session, ctx);
+        // Mutation check (`RUSTFLAGS="--cfg ts_mutate_ordering"`, CI's
+        // explorer job): sever the scan→free ordering edge — the phase
+        // frees without waiting for any thread to scan and mark, exactly
+        // what a too-weak ordering on the scan handshake would permit.
+        // The exhaustive Lemma 1 scenarios must catch this; if they stop
+        // doing so, the explorer has lost its teeth.
+        #[cfg(ts_mutate_ordering)]
+        let outcome = {
+            let _ = ctx;
+            crate::platform::ScanOutcome { threads_scanned: 0 }
+        };
 
         self.stats.add(&self.stats.collects, 1);
         self.stats

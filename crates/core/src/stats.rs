@@ -222,6 +222,10 @@ impl StatsSnapshot {
     /// phase has run. Coarse by design — buckets are powers of two, so
     /// the value is an upper bound within a factor of two.
     pub fn collect_us_percentile(&self, q: f64) -> f64 {
+        /// Upper bound of histogram bucket `i`, in microseconds.
+        fn bucket_bound_us(i: usize) -> f64 {
+            2f64.powi(i as i32 + 1) / 1e3
+        }
         let total: usize = self.collect_ns_hist.iter().sum();
         if total == 0 {
             return 0.0;
@@ -231,10 +235,14 @@ impl StatsSnapshot {
         for (i, &count) in self.collect_ns_hist.iter().enumerate() {
             seen += count;
             if seen >= rank {
-                return 2f64.powi(i as i32 + 1) / 1e3;
+                return bucket_bound_us(i);
             }
         }
-        2f64.powi(self.collect_ns_hist.len() as i32) / 1e3
+        // Unreachable while `rank <= total` (the walk always accumulates
+        // to `total`), but the walk above may change shape: the right
+        // answer is the last bucket's bound — stated as such, not as a
+        // power of the bucket *count* that only happens to coincide.
+        bucket_bound_us(self.collect_ns_hist.len() - 1)
     }
 }
 
@@ -326,6 +334,22 @@ mod tests {
         assert_eq!(snap.collect_ns_hist[10], 1);
         assert_eq!(snap.collect_ns_hist[HIST_BUCKETS - 1], 1);
         assert_eq!(snap.collect_ns_hist.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn percentile_of_saturated_last_bucket_is_its_bound() {
+        // Regression (satellite of the explorer PR): with only the
+        // saturation bucket populated, q=1.0 must return the last
+        // bucket's upper bound — 2^HIST_BUCKETS ns in µs — and keep
+        // doing so if HIST_BUCKETS ever changes. The old fallback
+        // expressed this as `2^len`, which equals the last bucket's
+        // bound only by coincidence of the current bound formula.
+        let stats = CollectorStats::default();
+        stats.record_collect_ns(usize::MAX); // saturates into bucket 31
+        let snap = stats.snapshot();
+        let expect = 2f64.powi(HIST_BUCKETS as i32) / 1e3;
+        assert_eq!(snap.collect_us_percentile(1.0), expect);
+        assert_eq!(snap.collect_us_percentile(0.5), expect);
     }
 
     #[test]

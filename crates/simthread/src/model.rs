@@ -1,16 +1,24 @@
-//! Randomized protocol model checking.
+//! Protocol model checking over the deterministic [`SimPlatform`].
 //!
-//! Runs the full collector protocol over the deterministic [`SimPlatform`]
-//! with a seeded random schedule of the abstract operations the paper's
-//! proofs quantify over:
+//! Runs the full collector protocol with an explicit schedule of the
+//! abstract operations the paper's proofs quantify over:
 //!
 //! * **Alloc** — a node becomes reachable;
 //! * **Acquire** — a simulated thread copies a reference into its private
-//!   memory (shadow stack) — legal only while the node is still reachable
-//!   (Assumption 1.1: removed nodes cannot be newly reached);
+//!   memory (shadow stack or §4.3 heap block) — legal only while the node
+//!   is still reachable (Assumption 1.1: removed nodes cannot be newly
+//!   reached);
 //! * **Release** — a private reference is dropped;
 //! * **Retire** — the node is unlinked and handed to the collector;
-//! * **Collect** — a forced reclamation phase.
+//! * **Collect** — a forced reclamation phase;
+//! * **Drain** — a bounded distributed-free drain (§7 extension).
+//!
+//! The schedule is produced by a pluggable [`Chooser`]
+//! ([`mod@crate::explore`]): [`run_model`] drives a seeded
+//! [`RandomChooser`] (randomized suites,
+//! arbitrary shapes), while the exhaustive suites drive [`ModelMachine`]
+//! directly under the DFS enumerator, enumerating *every* interleaving at
+//! small bounds.
 //!
 //! Checked invariants:
 //!
@@ -19,16 +27,17 @@
 //!   destructor* against an exact root census.
 //! * **Eventual reclamation (Lemma 4)** — once all references are released
 //!   and all nodes retired, a bounded number of phases frees everything.
+//!   The final drain is iteration-bounded: a liveness bug that strands
+//!   queue entries produces a diagnostic panic, never a hung test suite.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use threadscan::{Collector, CollectorConfig};
+use threadscan::{Collector, CollectorConfig, ThreadHandle};
 
+use crate::explore::{Chooser, RandomChooser};
 use crate::virtsig::SimPlatform;
 
 /// Parameters for one model run.
@@ -40,7 +49,7 @@ pub struct ModelConfig {
     pub shadow_slots: usize,
     /// Delete-buffer capacity (small values force frequent phases).
     pub buffer_capacity: usize,
-    /// Schedule length in operations.
+    /// Schedule length in operations (randomized driver only).
     pub steps: usize,
     /// RNG seed (same seed ⇒ same schedule ⇒ same outcome).
     pub seed: u64,
@@ -99,13 +108,17 @@ struct ModelNode {
 impl Drop for ModelNode {
     fn drop(&mut self) {
         let addr = self as *mut ModelNode as usize;
-        let roots = self.census.root_counts.lock();
-        let outstanding = roots.get(&addr).copied().unwrap_or(0);
-        assert_eq!(
-            outstanding, 0,
-            "SAFETY VIOLATION: node {addr:#x} freed with {outstanding} live root(s)"
-        );
-        drop(roots);
+        // During unwinding from an earlier violation, teardown drops the
+        // remaining nodes; re-asserting would turn one diagnosable panic
+        // into a double-panic abort (fatal to the explorer's replay loop).
+        if !std::thread::panicking() {
+            let roots = self.census.root_counts.lock();
+            let outstanding = roots.get(&addr).copied().unwrap_or(0);
+            assert_eq!(
+                outstanding, 0,
+                "SAFETY VIOLATION: node {addr:#x} freed with {outstanding} live root(s)"
+            );
+        }
         self.census.freed.fetch_add(1, Ordering::SeqCst);
     }
 }
@@ -121,182 +134,361 @@ enum RootKind {
 /// A reference currently held by a simulated thread.
 struct Held {
     kind: RootKind,
-    addr: usize,
+    node: usize,
 }
 
-/// Runs one seeded schedule; panics on any safety violation.
-pub fn run_model(config: &ModelConfig) -> ModelReport {
-    assert!(config.sim_threads >= 1);
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let platform = SimPlatform::direct(config.shadow_slots);
-    let collector = Collector::with_config(
-        platform.clone(),
-        CollectorConfig::default()
-            .with_buffer_capacity(config.buffer_capacity)
-            .with_distributed_frees(config.distributed_frees),
-    );
-    let census = Arc::new(Census {
-        root_counts: Mutex::new(HashMap::new()),
-        freed: AtomicUsize::new(0),
-    });
+/// The protocol model as an explicit state machine: a collector over the
+/// deterministic platform plus the exact census the safety checks need.
+///
+/// Each method is one abstract operation from the paper's proofs. Drivers
+/// (randomized or exhaustive) sequence them; the machine enforces the
+/// model's legality rules (Assumption 1.1 etc.) by skipping illegal ops
+/// (returning `false`), so any op order a scheduler produces is valid to
+/// run. Nodes are referred to by *logical id* — their allocation index —
+/// which is stable across interleavings, so exhaustive scenarios can name
+/// nodes in fixed per-thread programs.
+pub struct ModelMachine {
+    census: Arc<Census>,
+    handles: Vec<ThreadHandle<SimPlatform>>,
+    collector: Arc<Collector<SimPlatform>>,
+    shadows: Vec<Arc<crate::shadow::ShadowStack>>,
+    heap_blocks: Vec<Box<[usize]>>,
+    /// Address of each allocated node, by logical id.
+    nodes: Vec<usize>,
+    /// Whether each logical id is still reachable (allocated, not retired).
+    reachable: Vec<bool>,
+    held: Vec<Vec<Held>>,
+    retired: usize,
+    max_outstanding: usize,
+    heap_block_cells: usize,
+}
 
-    // All simulated threads live on this real thread: the schedule *is*
-    // the interleaving, at operation granularity.
-    let handles: Vec<_> = (0..config.sim_threads)
-        .map(|_| collector.register())
-        .collect();
-    let shadows: Vec<_> = (0..config.sim_threads)
-        .map(|i| platform.shadow(i))
-        .collect();
+impl ModelMachine {
+    /// Builds the collector, platform, and per-thread state for `config`
+    /// (the `steps`/`seed` fields are driver concerns and ignored here).
+    pub fn new(config: &ModelConfig) -> Self {
+        assert!(config.sim_threads >= 1);
+        let platform = SimPlatform::direct(config.shadow_slots);
+        let collector = Collector::with_config(
+            platform.clone(),
+            CollectorConfig::default()
+                .with_buffer_capacity(config.buffer_capacity)
+                .with_distributed_frees(config.distributed_frees),
+        );
+        let census = Arc::new(Census {
+            root_counts: Mutex::new(HashMap::new()),
+            freed: AtomicUsize::new(0),
+        });
 
-    // §4.3 heap blocks: one registered block of `heap_block_cells` words
-    // per simulated thread; cell value 0 means free.
-    let mut heap_blocks: Vec<Box<[usize]>> = (0..config.sim_threads)
-        .map(|_| vec![0usize; config.heap_block_cells].into_boxed_slice())
-        .collect();
-    if config.heap_block_cells > 0 {
-        for (t, block) in heap_blocks.iter().enumerate() {
-            handles[t]
-                .add_heap_block(block.as_ptr().cast(), block.len() * 8)
-                .expect("register model heap block");
+        // All simulated threads live on one real thread: the schedule *is*
+        // the interleaving, at operation granularity.
+        let handles: Vec<_> = (0..config.sim_threads)
+            .map(|_| collector.register())
+            .collect();
+        let shadows: Vec<_> = (0..config.sim_threads)
+            .map(|i| platform.shadow(i))
+            .collect();
+
+        // §4.3 heap blocks: one registered block of `heap_block_cells`
+        // words per simulated thread; cell value 0 means free.
+        let heap_blocks: Vec<Box<[usize]>> = (0..config.sim_threads)
+            .map(|_| vec![0usize; config.heap_block_cells].into_boxed_slice())
+            .collect();
+        if config.heap_block_cells > 0 {
+            for (t, block) in heap_blocks.iter().enumerate() {
+                handles[t]
+                    .add_heap_block(block.as_ptr().cast(), block.len() * 8)
+                    .expect("register model heap block");
+            }
+        }
+
+        Self {
+            census,
+            handles,
+            collector,
+            shadows,
+            heap_blocks,
+            nodes: Vec::new(),
+            reachable: Vec::new(),
+            held: (0..config.sim_threads).map(|_| Vec::new()).collect(),
+            retired: 0,
+            max_outstanding: 0,
+            heap_block_cells: config.heap_block_cells,
         }
     }
 
-    let mut reachable: Vec<usize> = Vec::new(); // allocated, not retired
-    let mut held: Vec<Vec<Held>> = (0..config.sim_threads).map(|_| Vec::new()).collect();
-    let mut allocated = 0usize;
-    let mut retired = 0usize;
-    let mut max_outstanding = 0usize;
+    /// Number of simulated threads.
+    pub fn sim_threads(&self) -> usize {
+        self.handles.len()
+    }
 
-    let alloc = |census: &Arc<Census>| -> usize {
-        Box::into_raw(Box::new(ModelNode {
-            census: Arc::clone(census),
+    /// Nodes allocated so far (== the next logical id).
+    pub fn allocated(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Logical ids of nodes that are still reachable.
+    pub fn reachable_ids(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.reachable[i])
+            .collect()
+    }
+
+    /// References currently held by simulated thread `t`.
+    pub fn held_count(&self, t: usize) -> usize {
+        self.held[t].len()
+    }
+
+    /// Retired-but-not-freed node count right now.
+    pub fn outstanding(&self) -> usize {
+        self.retired - self.census.freed.load(Ordering::SeqCst)
+    }
+
+    fn note_outstanding(&mut self) {
+        let outstanding = self.outstanding();
+        self.max_outstanding = self.max_outstanding.max(outstanding);
+    }
+
+    /// **Alloc**: a new node becomes reachable; returns its logical id.
+    pub fn alloc(&mut self) -> usize {
+        let addr = Box::into_raw(Box::new(ModelNode {
+            census: Arc::clone(&self.census),
             _pad: [0; 6],
-        })) as usize
-    };
+        })) as usize;
+        self.nodes.push(addr);
+        self.reachable.push(true);
+        self.note_outstanding();
+        self.nodes.len() - 1
+    }
 
+    /// **Acquire**: thread `t` publishes a reference to `node` at byte
+    /// offset `8 * offset_words` (interior pointers must pin too), into
+    /// its heap block when `use_heap`, else its shadow stack. Skipped
+    /// (`false`) when the node is no longer reachable (Assumption 1.1) or
+    /// the chosen root storage is full.
+    pub fn acquire(&mut self, t: usize, node: usize, offset_words: usize, use_heap: bool) -> bool {
+        if node >= self.nodes.len() || !self.reachable[node] {
+            return false;
+        }
+        let addr = self.nodes[node];
+        // Census first: from the instant the reference exists in private
+        // memory it must pin the node.
+        *self.census.root_counts.lock().entry(addr).or_insert(0) += 1;
+        let published = addr + (offset_words % 6) * 8;
+        let placed = if use_heap && self.heap_block_cells > 0 {
+            self.heap_blocks[t]
+                .iter()
+                .position(|&c| c == 0)
+                .map(|cell| {
+                    self.heap_blocks[t][cell] = published;
+                    RootKind::Cell(cell)
+                })
+        } else {
+            self.shadows[t].publish(published).map(RootKind::Slot)
+        };
+        match placed {
+            Some(kind) => {
+                self.held[t].push(Held { kind, node });
+                self.note_outstanding();
+                true
+            }
+            None => {
+                // Root storage full: back out.
+                *self.census.root_counts.lock().get_mut(&addr).unwrap() -= 1;
+                false
+            }
+        }
+    }
+
+    /// **Release**: thread `t` drops its `held_idx`-th reference
+    /// (swap-removed). Skipped when out of range.
+    pub fn release(&mut self, t: usize, held_idx: usize) -> bool {
+        if held_idx >= self.held[t].len() {
+            return false;
+        }
+        let h = self.held[t].swap_remove(held_idx);
+        match h.kind {
+            RootKind::Slot(slot) => {
+                self.shadows[t].retract(slot);
+            }
+            RootKind::Cell(cell) => self.heap_blocks[t][cell] = 0,
+        }
+        // Census strictly after the root disappears from scannable
+        // memory: the destructor check is therefore conservative.
+        let addr = self.nodes[h.node];
+        *self.census.root_counts.lock().get_mut(&addr).unwrap() -= 1;
+        self.note_outstanding();
+        true
+    }
+
+    /// **Retire**: thread `t` unlinks `node` and hands it to the
+    /// collector. Skipped when the node is not currently reachable (each
+    /// node is retired at most once).
+    pub fn retire(&mut self, t: usize, node: usize) -> bool {
+        if node >= self.nodes.len() || !self.reachable[node] {
+            return false;
+        }
+        self.reachable[node] = false;
+        // SAFETY: `addr` came from Box::into_raw and `reachable[node]`
+        // was just cleared, so it is retired exactly once.
+        unsafe { self.handles[t].retire(self.nodes[node] as *mut ModelNode) };
+        self.retired += 1;
+        self.note_outstanding();
+        true
+    }
+
+    /// **Collect**: a forced reclamation phase.
+    pub fn collect(&mut self) {
+        self.collector.collect_now();
+        self.note_outstanding();
+    }
+
+    /// **Drain**: frees up to `batch` nodes from the distributed-free
+    /// queue (§7); returns how many were freed.
+    pub fn drain(&mut self, batch: usize) -> usize {
+        let n = self.collector.drain_free_queue(batch);
+        self.note_outstanding();
+        n
+    }
+
+    /// End of schedule: releases every root, retires everything still
+    /// reachable, and collects until quiescent, then checks Lemma 4
+    /// (every allocated node freed).
+    ///
+    /// The distributed-free drain is **iteration-bounded**: if the queue
+    /// still yields nodes after `allocated + 2` full drains, something is
+    /// re-queueing or duplicating entries and the model panics with a
+    /// diagnostic report instead of spinning forever.
+    pub fn finish(mut self) -> ModelReport {
+        for t in 0..self.handles.len() {
+            while self.release(t, 0) {}
+        }
+        for node in 0..self.nodes.len() {
+            if self.reachable[node] {
+                self.retire(0, node);
+            }
+        }
+        // Lemma 4: with no roots left, one phase suffices; we allow two
+        // for the survivors carried out of the last in-schedule phase —
+        // plus a full queue drain when the distributed-free extension is
+        // on.
+        self.collect();
+        self.collect();
+        let allocated = self.nodes.len();
+        // Each bounded drain empties the whole queue (or bails under
+        // contention, returning 0 and ending the loop), so a correct run
+        // takes one or two iterations; `allocated + 2` passes can move
+        // strictly more nodes than were ever allocated, which only a
+        // re-queueing/duplication liveness bug survives.
+        let drain_limit = allocated + 2;
+        let mut drains = 0usize;
+        while self.drain(usize::MAX) > 0 {
+            drains += 1;
+            if drains > drain_limit {
+                let freed = self.census.freed.load(Ordering::SeqCst);
+                panic!(
+                    "LIVENESS VIOLATION: distributed-free queue still yielding after \
+                     {drains} full drains (limit {drain_limit}): {freed}/{allocated} nodes \
+                     freed, {} retired, collector pending_estimate {}",
+                    self.retired,
+                    self.collector.pending_estimate(),
+                );
+            }
+        }
+
+        let freed = self.census.freed.load(Ordering::SeqCst);
+        assert_eq!(
+            freed,
+            allocated,
+            "LIVENESS VIOLATION: {} of {} nodes never freed (collector pending_estimate {})",
+            allocated - freed,
+            allocated,
+            self.collector.pending_estimate(),
+        );
+
+        let stats = self.collector.stats();
+        ModelReport {
+            allocated,
+            freed,
+            collects: stats.collects,
+            max_outstanding: self.max_outstanding,
+        }
+    }
+}
+
+/// Runs one schedule drawn from `chooser`; panics on any violation.
+///
+/// This is the randomized driver's op mix (Alloc 30%, Acquire 25%,
+/// Release 20%, Retire 20%, Collect/Drain 5%), with every choice point —
+/// op kind, thread, node, slot, drain batch — routed through `chooser`,
+/// so the same schedule logic runs random, replayed, or enumerated.
+pub fn run_model_with(config: &ModelConfig, chooser: &mut dyn Chooser) -> ModelReport {
+    let mut machine = ModelMachine::new(config);
     for _ in 0..config.steps {
-        match rng.gen_range(0..100) {
+        match chooser.choose("op", 100) {
             // Alloc (30%)
             0..=29 => {
-                reachable.push(alloc(&census));
-                allocated += 1;
+                machine.alloc();
             }
             // Acquire (25%)
             30..=54 => {
+                let reachable = machine.reachable_ids();
                 if reachable.is_empty() {
                     continue;
                 }
-                let t = rng.gen_range(0..config.sim_threads);
-                let addr = reachable[rng.gen_range(0..reachable.len())];
-                // Census first: from the instant the reference exists in
-                // private memory it must pin the node.
-                *census.root_counts.lock().entry(addr).or_insert(0) += 1;
-                // Interior pointers must pin too — exercise them.
-                let published = addr + (rng.gen_range(0..6usize)) * 8;
-                let use_heap = config.heap_block_cells > 0 && rng.gen_bool(0.5);
-                let placed = if use_heap {
-                    heap_blocks[t].iter().position(|&c| c == 0).map(|cell| {
-                        heap_blocks[t][cell] = published;
-                        RootKind::Cell(cell)
-                    })
-                } else {
-                    shadows[t].publish(published).map(RootKind::Slot)
-                };
-                match placed {
-                    Some(kind) => held[t].push(Held { kind, addr }),
-                    None => {
-                        // Root storage full: back out.
-                        *census.root_counts.lock().get_mut(&addr).unwrap() -= 1;
-                    }
-                }
+                let t = chooser.choose("acquire-thread", config.sim_threads);
+                let node = reachable[chooser.choose("acquire-node", reachable.len())];
+                let offset = chooser.choose("acquire-offset", 6);
+                let use_heap =
+                    config.heap_block_cells > 0 && chooser.choose("acquire-root", 2) == 1;
+                machine.acquire(t, node, offset, use_heap);
             }
             // Release (20%)
             55..=74 => {
-                let t = rng.gen_range(0..config.sim_threads);
-                if held[t].is_empty() {
+                let t = chooser.choose("release-thread", config.sim_threads);
+                let held = machine.held_count(t);
+                if held == 0 {
                     continue;
                 }
-                let idx = rng.gen_range(0..held[t].len());
-                let h = held[t].swap_remove(idx);
-                match h.kind {
-                    RootKind::Slot(slot) => {
-                        shadows[t].retract(slot);
-                    }
-                    RootKind::Cell(cell) => heap_blocks[t][cell] = 0,
-                }
-                // Census strictly after the root disappears from scannable
-                // memory: the destructor check is therefore conservative.
-                *census.root_counts.lock().get_mut(&h.addr).unwrap() -= 1;
+                let idx = chooser.choose("release-idx", held);
+                machine.release(t, idx);
             }
             // Retire (20%)
             75..=94 => {
+                let reachable = machine.reachable_ids();
                 if reachable.is_empty() {
                     continue;
                 }
-                let t = rng.gen_range(0..config.sim_threads);
-                let addr = reachable.swap_remove(rng.gen_range(0..reachable.len()));
-                // SAFETY: `addr` came from Box::into_raw and leaves
-                // `reachable`, so it is retired exactly once.
-                unsafe { handles[t].retire(addr as *mut ModelNode) };
-                retired += 1;
+                let t = chooser.choose("retire-thread", config.sim_threads);
+                let node = reachable[chooser.choose("retire-node", reachable.len())];
+                machine.retire(t, node);
             }
             // Forced collect / distributed drain (5%)
             _ => {
-                if config.distributed_frees && rng.gen_bool(0.5) {
+                if config.distributed_frees && chooser.choose("collect-kind", 2) == 1 {
                     // The §7 extension's second half: a non-reclaimer hand
-                    // frees a batch from the shared queue.
-                    collector.drain_free_queue(rng.gen_range(1..16));
+                    // frees a batch from the shared queue. Batch sizes
+                    // sweep 1..=2*capacity plus a full drain, so the
+                    // `distributed_free_batch` boundary cases (batch equal
+                    // to and larger than the queue length) are exercised —
+                    // the old `1..16` range could never drain a batch ≥ 16.
+                    let spread = 2 * config.buffer_capacity.max(8);
+                    let pick = chooser.choose("drain-batch", spread + 1);
+                    let batch = if pick == spread { usize::MAX } else { pick + 1 };
+                    machine.drain(batch);
                 } else {
-                    collector.collect_now();
+                    machine.collect();
                 }
             }
         }
-        let outstanding = retired - census.freed.load(Ordering::SeqCst);
-        max_outstanding = max_outstanding.max(outstanding);
     }
+    machine.finish()
+}
 
-    // Drain: release every root, retire everything, collect until done.
-    for t in 0..config.sim_threads {
-        for h in held[t].drain(..) {
-            match h.kind {
-                RootKind::Slot(slot) => {
-                    shadows[t].retract(slot);
-                }
-                RootKind::Cell(cell) => heap_blocks[t][cell] = 0,
-            }
-            *census.root_counts.lock().get_mut(&h.addr).unwrap() -= 1;
-        }
-    }
-    for addr in reachable.drain(..) {
-        unsafe { handles[0].retire(addr as *mut ModelNode) };
-    }
-    // Lemma 4: with no roots left, one phase suffices; we allow two for
-    // the survivors carried out of the last in-schedule phase — plus a
-    // full queue drain when the distributed-free extension is on.
-    collector.collect_now();
-    collector.collect_now();
-    if config.distributed_frees {
-        while collector.drain_free_queue(usize::MAX) > 0 {}
-    }
-
-    let freed = census.freed.load(Ordering::SeqCst);
-    assert_eq!(
-        freed,
-        allocated,
-        "LIVENESS VIOLATION: {} of {} nodes never freed",
-        allocated - freed,
-        allocated
-    );
-
-    let stats = collector.stats();
-    drop(handles);
-    ModelReport {
-        allocated,
-        freed,
-        collects: stats.collects,
-        max_outstanding,
-    }
+/// Runs one seeded random schedule; panics on any safety violation.
+pub fn run_model(config: &ModelConfig) -> ModelReport {
+    let mut chooser = RandomChooser::seeded(config.seed);
+    run_model_with(config, &mut chooser)
 }
 
 #[cfg(test)]
@@ -384,6 +576,98 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(report.allocated, report.freed);
+    }
+
+    #[test]
+    fn drain_batch_equal_to_queue_length_empties_the_queue() {
+        // Regression (distributed-free batch boundary): the randomized
+        // schedule's old `1..16` drain range could never exercise a batch
+        // that equals or exceeds the queue length. Pin both boundaries
+        // directly on the machine.
+        const CAP: usize = 4;
+        let cfg = ModelConfig {
+            sim_threads: 2,
+            buffer_capacity: CAP,
+            distributed_frees: true,
+            ..Default::default()
+        };
+        let mut machine = ModelMachine::new(&cfg);
+        // The CAP-th retire fills the delete buffer and becomes the
+        // reclaimer: the phase proves all CAP nodes reclaimable and
+        // (distribute_frees) queues them instead of freeing. Stopping
+        // exactly there matters — a further retire's pre-drain would
+        // empty the queue again.
+        for _ in 0..CAP {
+            let id = machine.alloc();
+            machine.retire(0, id);
+        }
+        assert_eq!(machine.outstanding(), CAP, "queued, not freed");
+
+        // batch == queue length: frees exactly the queue.
+        assert_eq!(machine.drain(CAP), CAP);
+        assert_eq!(machine.outstanding(), 0);
+        assert_eq!(machine.drain(CAP), 0, "queue now empty");
+
+        // Refill the queue the same way, then drain with batch > queue
+        // length: frees what is there, no more, and does not spin.
+        for _ in 0..CAP {
+            let id = machine.alloc();
+            machine.retire(1, id);
+        }
+        assert_eq!(machine.drain(CAP + 100), CAP);
+        let report = machine.finish();
+        assert_eq!(report.allocated, report.freed);
+        assert_eq!(report.allocated, 2 * CAP);
+    }
+
+    #[test]
+    fn random_schedules_reach_large_drain_batches() {
+        // The widened drain-batch choice must actually produce batches at
+        // and beyond the old `1..16` ceiling. Count what a seeded driver
+        // draws through the same choice logic the schedule uses.
+        let cfg = ModelConfig {
+            buffer_capacity: 16,
+            ..Default::default()
+        };
+        let mut chooser = RandomChooser::seeded(3);
+        let spread = 2 * cfg.buffer_capacity.max(8);
+        let mut saw_large = false;
+        let mut saw_full = false;
+        for _ in 0..512 {
+            let pick = chooser.choose("drain-batch", spread + 1);
+            let batch = if pick == spread { usize::MAX } else { pick + 1 };
+            saw_large |= batch >= 16 && batch != usize::MAX;
+            saw_full |= batch == usize::MAX;
+        }
+        assert!(saw_large, "widened range must cover batches >= 16");
+        assert!(saw_full, "widened range must cover full drains");
+    }
+
+    #[test]
+    fn machine_skips_illegal_ops() {
+        let cfg = ModelConfig {
+            sim_threads: 2,
+            shadow_slots: 1,
+            ..Default::default()
+        };
+        let mut machine = ModelMachine::new(&cfg);
+        let id = machine.alloc();
+        assert!(machine.acquire(0, id, 0, false));
+        assert!(
+            !machine.acquire(0, id, 0, false),
+            "shadow stack full: acquire must back out"
+        );
+        assert!(machine.retire(1, id));
+        assert!(!machine.retire(1, id), "double retire must be skipped");
+        assert!(
+            !machine.acquire(1, id, 0, false),
+            "Assumption 1.1: retired nodes cannot be newly acquired"
+        );
+        assert!(machine.release(0, 0));
+        assert!(!machine.release(0, 0), "nothing held anymore");
+        let report = machine.finish();
+        assert_eq!(report.allocated, 1);
+        assert_eq!(report.freed, 1);
     }
 
     proptest! {

@@ -28,11 +28,15 @@ struct EpochRec {
 
 impl EpochRec {
     fn announce(&self, epoch: usize) {
+        // MUST stay `SeqCst`: this store needs a StoreLoad barrier against
+        // the operation's subsequent reads of shared pointers. If the
+        // announce could be delayed past those reads, a reclaimer could
+        // observe the thread as inactive (or at an old epoch), advance
+        // twice, and free a node the operation is about to dereference —
+        // the exact interleaving `epoch_fastpath_handshake`
+        // (crates/simthread/tests/exhaustive.rs) guards at the protocol
+        // level.
         self.state.store(epoch << 1 | 1, Ordering::SeqCst);
-    }
-    fn clear(&self) {
-        let s = self.state.load(Ordering::Relaxed);
-        self.state.store(s & !1, Ordering::Release);
     }
     /// `Some(epoch)` if the thread is inside an operation.
     fn active_epoch(&self) -> Option<usize> {
@@ -175,6 +179,14 @@ pub struct EpochHandle {
     bag: RefCell<VecDeque<(usize, usize, DropFn)>>,
     retires_since_advance: std::cell::Cell<usize>,
     ops: std::cell::Cell<usize>,
+    /// The state word the last `begin_op` announced, with the active bit
+    /// already cleared — exactly what `end_op` must publish. Caching it
+    /// here (this handle is the state word's only writer: `EpochHandle`
+    /// is `!Sync` and nothing else stores to `rec.state`) lets `end_op`
+    /// issue one plain `Release` store with no preceding atomic load,
+    /// and closes the stale-republish hazard a load-then-store pair
+    /// would have if a concurrent writer ever appeared.
+    announced: std::cell::Cell<usize>,
     /// This handle is the designated errant thread (Slow Epoch).
     errant: bool,
 }
@@ -199,6 +211,7 @@ impl Smr for EpochScheme {
             bag: RefCell::new(VecDeque::new()),
             retires_since_advance: std::cell::Cell::new(0),
             ops: std::cell::Cell::new(0),
+            announced: std::cell::Cell::new(0),
             errant,
         }
     }
@@ -228,8 +241,15 @@ impl Smr for EpochScheme {
 impl SmrHandle for EpochHandle {
     #[inline]
     fn begin_op(&self) {
-        let e = self.inner.global.load(Ordering::SeqCst);
+        // Relaxed from `SeqCst` (scenario: `epoch_fastpath_handshake`): a
+        // stale global epoch here only makes this thread announce an
+        // *older* epoch, which blocks advancement longer — strictly more
+        // conservative, never unsafe. `Acquire` (free on x86) keeps the
+        // epoch value itself coherent with the writer's bumps; the
+        // StoreLoad barrier the protocol needs lives in `announce`.
+        let e = self.inner.global.load(Ordering::Acquire);
         self.rec.announce(e);
+        self.announced.set(e << 1);
         if self.errant {
             // Slow Epoch fault injection: every `period_ops` operations the
             // errant thread dawdles *while active*, pinning epoch `e`.
@@ -247,11 +267,25 @@ impl SmrHandle for EpochHandle {
 
     #[inline]
     fn end_op(&self) {
-        self.rec.clear();
+        // One plain `Release` store of the word `begin_op` cached — no
+        // atomic re-load (the old `Relaxed`-load + store pair), no RMW.
+        // Sound because this handle is the state word's single writer, so
+        // the cached value cannot be stale; `Release` orders the store
+        // after this operation's shared-memory reads, so a reclaimer that
+        // sees us inactive also sees those reads complete (scenario:
+        // `epoch_fastpath_handshake`).
+        self.rec
+            .state
+            .store(self.announced.get(), Ordering::Release);
     }
 
     unsafe fn retire(&self, addr: usize, _size: usize, drop_fn: DropFn) {
         self.inner.outstanding.fetch_add(1, Ordering::Relaxed);
+        // MUST stay `SeqCst`: the stamp may never read *lower* than the
+        // epoch any in-flight operation could have observed the unlink
+        // under. A stale-low stamp would expire the node one epoch early
+        // — the unsafe direction (use-after-free), unlike the begin_op
+        // load where staleness is conservative.
         let stamp = self.inner.global.load(Ordering::SeqCst);
         let mut bag = self.bag.borrow_mut();
         bag.push_back((stamp, addr, drop_fn));
@@ -264,7 +298,11 @@ impl SmrHandle for EpochHandle {
         } else {
             self.retires_since_advance.set(n);
             // Opportunistically expire what is already old enough.
-            let epoch = self.inner.global.load(Ordering::SeqCst);
+            // Relaxed from `SeqCst` (scenario: `epoch_fastpath_handshake`):
+            // a stale-low epoch read only *shrinks* the expiry limit —
+            // nodes free later, never earlier, so staleness is safe here
+            // (contrast the stamp load above).
+            let epoch = self.inner.global.load(Ordering::Acquire);
             free_expired(&self.inner, &mut bag, epoch);
         }
     }
@@ -272,7 +310,9 @@ impl SmrHandle for EpochHandle {
 
 impl Drop for EpochHandle {
     fn drop(&mut self) {
-        self.rec.clear();
+        // Fully clear (not just the active bit): the record is about to
+        // leave the registry, so its epoch payload is meaningless.
+        self.rec.state.store(0, Ordering::Release);
         // Remove our announcement record so we never block advancement,
         // and bequeath the bag.
         self.inner

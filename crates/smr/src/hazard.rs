@@ -191,7 +191,15 @@ impl SmrHandle for HpHandle {
                 hazard.store(0, Ordering::Release);
                 return p;
             }
-            hazard.store(clean, Ordering::Release);
+            // Relaxed from `Release` (scenario: `hazard_protect_vs_retire`,
+            // crates/simthread/tests/exhaustive.rs): the slot carries no
+            // payload anyone reads through — reclaimers only compare the
+            // address — so there is nothing for `Release` to publish. The
+            // ordering that matters is publication-before-revalidation,
+            // and that is exactly what the `SeqCst` fence below provides
+            // (the store cannot sink past it, the validating load cannot
+            // hoist above it).
+            hazard.store(clean, Ordering::Relaxed);
             // The fence the paper charges hazard pointers for: makes the
             // hazard publication visible before the validating re-read.
             fence(Ordering::SeqCst);
