@@ -351,6 +351,59 @@ fn hazard_protect_vs_retire_handshake() {
     );
 }
 
+/// Growable-directory grow-vs-traverse handshake: one thread publishes a
+/// taller root (twice — two grows) while another traverses an entry that
+/// existed before either grow. The design claim (see
+/// `crates/structures/src/growable_dir.rs`): a reader holding a stale
+/// root snapshot is never invalidated, because growth installs the old
+/// tree as child 0 of the new root — so the read must return the
+/// original value in **every** interleaving, with no reader/grower
+/// handshake beyond the root CAS.
+fn growable_directory_grow_vs_traverse(ch: &mut dyn Chooser) {
+    use ts_structures::growable_dir::{GrowableDirectory, SEG_LEN};
+
+    let dir = GrowableDirectory::new();
+    let a = 0x10 as *mut u8; // sentinels, never dereferenced
+    let b = 0x20 as *mut u8;
+    dir.entry(0).store(a, Ordering::Release);
+    assert_eq!(dir.height(), 1);
+
+    const LENS: &[usize] = &[2, 3];
+    interleave(ch, LENS, |t, pc| match (t, pc) {
+        // Grower: two out-of-range writes, each may grow the tree.
+        (0, 0) => dir.entry(SEG_LEN).store(b, Ordering::Release),
+        (0, 1) => dir.entry(2 * SEG_LEN).store(b, Ordering::Release),
+        // Traverser: in-range reads before/between/after the grows must
+        // always resolve through whatever root they observe to slot 0.
+        (1, _) => assert_eq!(
+            dir.entry(0).load(Ordering::Acquire),
+            a,
+            "GROW VIOLATION: pre-grow entry unreadable during growth"
+        ),
+        _ => unreachable!(),
+    });
+
+    // Post-conditions hold on every schedule: both grows landed in one
+    // height-2 tree (indices < SEG_LEN^2 need no second level-up).
+    assert_eq!(dir.height(), 2);
+    assert_eq!(dir.entry(SEG_LEN).load(Ordering::Acquire), b);
+    assert_eq!(dir.entry(2 * SEG_LEN).load(Ordering::Acquire), b);
+    assert_eq!(dir.entry(0).load(Ordering::Acquire), a);
+}
+
+#[test]
+fn growable_directory_grow_vs_traverse_2threads() {
+    let report = check(
+        "growable_directory_grow_vs_traverse_2threads",
+        growable_directory_grow_vs_traverse,
+    );
+    assert_eq!(report.schedules, multinomial(&[2, 3])); // C(5,2) = 10
+    println!(
+        "growable_directory_grow_vs_traverse_2threads: {} schedules (max depth {}) — exhaustive",
+        report.schedules, report.max_depth
+    );
+}
+
 #[test]
 fn multinomial_matches_known_counts() {
     assert_eq!(multinomial(&[4, 4]), 70);

@@ -1,0 +1,200 @@
+//! Object-safe, type-erased view of [`ConcurrentSet`].
+//!
+//! The generic `ConcurrentSet<S>` is what benchmarks monomorphize against,
+//! but a *heterogeneous* run — several different structures sharing one
+//! collector — needs to hold them as one type. This module mirrors how
+//! `ts_smr::dynamic` erases schemes:
+//!
+//! * [`DynSet`] — an object-safe mirror of [`ConcurrentSet`] whose ops are
+//!   driven through [`ErasedSmr`]'s handle ([`ErasedHandle`]). Every
+//!   `T: ConcurrentSet<ErasedSmr>` implements it via a blanket impl, so
+//!   `Arc<dyn DynSet>` can name a hash table, a skiplist, and a priority
+//!   queue at once while all of them retire through the *same*
+//!   `Arc<dyn DynSmr>` scheme instance.
+//! * [`PqAsSet`] — adapts the Shavit–Lotan [`PriorityQueue`] to the
+//!   set-shaped interface so it can join mixed workloads: `insert` maps to
+//!   a queue insert, `remove` to `delete_min` (the key argument picks no
+//!   particular element), `contains` to `peek_min` (non-emptiness).
+//!
+//! Method names deliberately match [`ConcurrentSet`]'s (the
+//! `DynHandle`/`SmrHandle` precedent); call through a `&dyn DynSet` or use
+//! UFCS where both traits are in scope.
+
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+use ts_smr::{ErasedHandle, ErasedSmr, Smr};
+
+use crate::priority_queue::PriorityQueue;
+use crate::set_trait::ConcurrentSet;
+
+/// An object-safe concurrent set running under a runtime-chosen scheme.
+///
+/// The handle argument is [`ErasedSmr`]'s concrete handle type rather than
+/// a generic `S::Handle`, which is what makes the trait object-safe; the
+/// scheme indirection lives inside [`ErasedHandle`].
+pub trait DynSet: Send + Sync {
+    /// See [`ConcurrentSet::contains`].
+    fn contains(&self, handle: &ErasedHandle, key: u64) -> bool;
+
+    /// See [`ConcurrentSet::insert`].
+    fn insert(&self, handle: &ErasedHandle, key: u64) -> bool;
+
+    /// See [`ConcurrentSet::remove`].
+    fn remove(&self, handle: &ErasedHandle, key: u64) -> bool;
+
+    /// See [`ConcurrentSet::kind`].
+    fn kind(&self) -> &'static str;
+
+    /// See [`ConcurrentSet::bucket_count`].
+    fn bucket_count(&self) -> Option<usize>;
+}
+
+impl<T: ConcurrentSet<ErasedSmr>> DynSet for T {
+    fn contains(&self, handle: &ErasedHandle, key: u64) -> bool {
+        ConcurrentSet::contains(self, handle, key)
+    }
+    fn insert(&self, handle: &ErasedHandle, key: u64) -> bool {
+        ConcurrentSet::insert(self, handle, key)
+    }
+    fn remove(&self, handle: &ErasedHandle, key: u64) -> bool {
+        ConcurrentSet::remove(self, handle, key)
+    }
+    fn kind(&self) -> &'static str {
+        ConcurrentSet::kind(self)
+    }
+    fn bucket_count(&self) -> Option<usize> {
+        ConcurrentSet::bucket_count(self)
+    }
+}
+
+/// The Shavit–Lotan priority queue behind the set-shaped interface.
+///
+/// A priority queue has no membership query, so the mapping reinterprets
+/// the set ops as queue traffic: `insert(k)` inserts priority `k`,
+/// `remove(_)` pops the minimum (`true` if the queue was non-empty), and
+/// `contains(_)` peeks (`true` if non-empty). The `key` argument of
+/// `remove`/`contains` is ignored — what matters for the reclamation
+/// benchmark is that deletions unlink and retire real nodes through the
+/// scheme under test, which `delete_min` does.
+pub struct PqAsSet<S: Smr> {
+    inner: PriorityQueue<S>,
+    /// Pops that found the queue empty — diagnostics for mix tuning.
+    empty_pops: AtomicUsize,
+}
+
+impl<S: Smr> PqAsSet<S> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self {
+            inner: PriorityQueue::new(),
+            empty_pops: AtomicUsize::new(0),
+        }
+    }
+
+    /// The wrapped queue.
+    pub fn inner(&self) -> &PriorityQueue<S> {
+        &self.inner
+    }
+
+    /// How many `remove` calls found the queue empty.
+    pub fn empty_pops(&self) -> usize {
+        self.empty_pops.load(Ordering::Relaxed)
+    }
+}
+
+impl<S: Smr> Default for PqAsSet<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Smr> ConcurrentSet<S> for PqAsSet<S> {
+    fn contains(&self, handle: &S::Handle, _key: u64) -> bool {
+        self.inner.peek_min(handle).is_some()
+    }
+
+    fn insert(&self, handle: &S::Handle, key: u64) -> bool {
+        self.inner.insert(handle, key)
+    }
+
+    fn remove(&self, handle: &S::Handle, _key: u64) -> bool {
+        let popped = self.inner.delete_min(handle).is_some();
+        if !popped {
+            self.empty_pops.fetch_add(1, Ordering::Relaxed);
+        }
+        popped
+    }
+
+    fn kind(&self) -> &'static str {
+        "priority-queue"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HarrisList, SplitOrderedSet};
+    use std::sync::Arc;
+    use ts_smr::{DynSmr, Leaky};
+
+    fn erased_leaky() -> ErasedSmr {
+        let scheme: Arc<dyn DynSmr> = Arc::new(Leaky::new());
+        ErasedSmr::new(scheme)
+    }
+
+    #[test]
+    fn heterogeneous_structures_share_one_scheme() {
+        let erased = erased_leaky();
+        let h = Smr::register(&erased);
+        let sets: Vec<Arc<dyn DynSet>> = vec![
+            Arc::new(HarrisList::<ErasedSmr>::new()),
+            Arc::new(SplitOrderedSet::<ErasedSmr>::new()),
+            Arc::new(PqAsSet::<ErasedSmr>::new()),
+        ];
+        for set in &sets {
+            assert!(set.insert(&h, 7));
+            assert!(set.contains(&h, 7));
+        }
+        assert_eq!(
+            sets.iter().map(|s| s.kind()).collect::<Vec<_>>(),
+            ["harris-list", "split-ordered", "priority-queue"]
+        );
+        // Only the bucketed table reports a bucket count.
+        assert_eq!(sets[0].bucket_count(), None);
+        assert!(sets[1].bucket_count().is_some());
+        assert_eq!(sets[2].bucket_count(), None);
+    }
+
+    #[test]
+    fn erased_ops_agree_with_the_generic_trait() {
+        let erased = erased_leaky();
+        let h = Smr::register(&erased);
+        let set = SplitOrderedSet::<ErasedSmr>::new();
+        assert!(ConcurrentSet::insert(&set, &h, 1));
+        let dyn_set: &dyn DynSet = &set;
+        assert!(!dyn_set.insert(&h, 1), "duplicate visible through erasure");
+        assert!(dyn_set.contains(&h, 1));
+        assert!(dyn_set.remove(&h, 1));
+        assert!(!ConcurrentSet::contains(&set, &h, 1));
+    }
+
+    #[test]
+    fn pq_adapter_maps_set_ops_to_queue_ops() {
+        let scheme = Leaky::new();
+        let h = scheme.register();
+        let pq = PqAsSet::<Leaky>::new();
+        assert!(!ConcurrentSet::contains(&pq, &h, 0), "empty queue");
+        assert!(!ConcurrentSet::remove(&pq, &h, 0), "pop on empty");
+        assert_eq!(pq.empty_pops(), 1);
+        assert!(ConcurrentSet::insert(&pq, &h, 9));
+        assert!(ConcurrentSet::insert(&pq, &h, 3));
+        assert!(!ConcurrentSet::insert(&pq, &h, 3), "duplicate priority");
+        // `contains`/`remove` ignore the key: they see the minimum.
+        assert!(ConcurrentSet::contains(&pq, &h, 999));
+        assert!(ConcurrentSet::remove(&pq, &h, 999));
+        assert_eq!(pq.inner().peek_min(&h), Some(9), "3 popped first");
+        assert!(ConcurrentSet::remove(&pq, &h, 0));
+        assert!(!ConcurrentSet::contains(&pq, &h, 0));
+        assert_eq!(pq.empty_pops(), 1, "successful pops not counted");
+    }
+}

@@ -1,0 +1,296 @@
+//! Lock-free growable segment-tree directory (Shalev–Shavit's
+//! "unbounded" split-ordered table, after the `growable_array` design in
+//! SNIPPETS.md §1–2).
+//!
+//! A directory is a radix tree of fixed-size segments whose **root
+//! pointer carries the tree height in its low tag bits**. Height `h`
+//! addresses `SEG_LEN^h` entries. Growing the directory never moves an
+//! entry: a thread that needs an out-of-range index allocates a fresh
+//! root segment, stores the *old* root as its child 0, and CAS-publishes
+//! `(new_root, h + 1)`. Because the old tree is child 0 of the new one,
+//! index `i < SEG_LEN^h` resolves to the same leaf slot through either
+//! root — a reader holding a stale (shorter) root snapshot is never
+//! invalidated, so there is no stop-the-world resize and no reader/grower
+//! handshake beyond the single root CAS. The exhaustive-explorer scenario
+//! `growable_directory_grow_vs_traverse` (crates/simthread/tests/
+//! exhaustive.rs) checks that argument over every interleaving of a
+//! 2-thread grow-vs-read program.
+//!
+//! Interior and leaf segments are allocated lazily under a CAS (the loser
+//! frees its candidate) and are **immortal until the directory drops** —
+//! that is what makes returning `&AtomicPtr<u8>` with the directory's
+//! lifetime sound. Leaf slot *values* are owned by the caller (the
+//! split-ordered table stores immortal dummy-node pointers); dropping the
+//! directory frees the segment tree only.
+
+use core::sync::atomic::{AtomicPtr, Ordering};
+
+/// Log2 of the entries per segment.
+pub const SEG_BITS: u32 = 8;
+/// Entries per segment (every level of the radix tree).
+pub const SEG_LEN: usize = 1 << SEG_BITS;
+/// Low bits of the root pointer that hold the height; `Segment`'s
+/// alignment keeps them clear in real addresses.
+const TAG_BITS: u32 = 3;
+const TAG_MASK: usize = (1 << TAG_BITS) - 1;
+/// Largest representable height (the tag is 3 bits; 0 is unused).
+pub const MAX_HEIGHT: u32 = (1 << TAG_BITS) - 1;
+/// Entries addressable at `MAX_HEIGHT` (2^56 — effectively unbounded;
+/// the address space runs out of nodes long before the directory does).
+pub const MAX_CAPACITY: usize = 1 << (SEG_BITS * MAX_HEIGHT);
+
+/// One radix-tree node: at interior levels the slots hold child-segment
+/// pointers, at the leaf level they hold caller values.
+#[repr(align(8))]
+struct Segment {
+    slots: [AtomicPtr<u8>; SEG_LEN],
+}
+
+impl Segment {
+    fn alloc() -> *mut Segment {
+        Box::into_raw(Box::new(Segment {
+            slots: [(); SEG_LEN].map(|_| AtomicPtr::new(core::ptr::null_mut())),
+        }))
+    }
+}
+
+#[inline]
+fn pack(seg: *mut Segment, height: u32) -> *mut u8 {
+    debug_assert_eq!(seg as usize & TAG_MASK, 0, "segment misaligned for tag");
+    debug_assert!((1..=MAX_HEIGHT).contains(&height));
+    (seg as usize | height as usize) as *mut u8
+}
+
+#[inline]
+fn unpack(tagged: *mut u8) -> (*mut Segment, u32) {
+    (
+        (tagged as usize & !TAG_MASK) as *mut Segment,
+        (tagged as usize & TAG_MASK) as u32,
+    )
+}
+
+/// The growable directory: an unbounded lock-free array of
+/// `AtomicPtr<u8>` entries.
+pub struct GrowableDirectory {
+    /// Tagged root: segment address | height.
+    root: AtomicPtr<u8>,
+}
+
+impl GrowableDirectory {
+    /// An empty directory of height 1 (`SEG_LEN` entries, growing on
+    /// demand).
+    pub fn new() -> Self {
+        Self {
+            root: AtomicPtr::new(pack(Segment::alloc(), 1)),
+        }
+    }
+
+    /// Current tree height (diagnostics / tests).
+    pub fn height(&self) -> u32 {
+        unpack(self.root.load(Ordering::Acquire)).1
+    }
+
+    /// Entries addressable without another grow.
+    pub fn capacity(&self) -> usize {
+        Self::capacity_for(self.height())
+    }
+
+    #[inline]
+    fn capacity_for(height: u32) -> usize {
+        1usize << (SEG_BITS * height)
+    }
+
+    /// Publishes a root one level taller than `(seen, height)`, with the
+    /// old tree as child 0. Loser of the CAS frees its candidate; either
+    /// way the root observed next covers strictly more entries.
+    fn grow(&self, seen: *mut Segment, height: u32) {
+        assert!(
+            height < MAX_HEIGHT,
+            "directory exceeds 2^{} entries",
+            SEG_BITS * MAX_HEIGHT
+        );
+        let taller = Segment::alloc();
+        // SAFETY: `taller` is private until the CAS publishes it.
+        unsafe { (*taller).slots[0].store(seen as *mut u8, Ordering::Relaxed) };
+        if self
+            .root
+            .compare_exchange(
+                pack(seen, height),
+                pack(taller, height + 1),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_err()
+        {
+            // SAFETY: the candidate never escaped; its only child pointer
+            // is the still-live old root, which must not be freed here.
+            unsafe { drop(Box::from_raw(taller)) };
+        }
+    }
+
+    /// The entry at `index`, growing the tree and allocating interior /
+    /// leaf segments on demand. The returned reference stays valid for
+    /// the directory's lifetime (segments are never freed before drop).
+    ///
+    /// # Panics
+    ///
+    /// If `index >= MAX_CAPACITY` (2^56).
+    pub fn entry(&self, index: usize) -> &AtomicPtr<u8> {
+        loop {
+            let (mut seg, height) = unpack(self.root.load(Ordering::Acquire));
+            if index >= Self::capacity_for(height) {
+                self.grow(seg, height);
+                continue;
+            }
+            // Descend interior levels; a stale root is fine — its subtree
+            // still covers `index` (growth only adds ancestors).
+            for level in (1..height).rev() {
+                let child_at = (index >> (SEG_BITS * level)) & (SEG_LEN - 1);
+                // SAFETY: segments are immortal until `self` drops.
+                let slot = unsafe { &(*seg).slots[child_at] };
+                let mut child = slot.load(Ordering::Acquire);
+                if child.is_null() {
+                    let fresh = Segment::alloc() as *mut u8;
+                    match slot.compare_exchange(
+                        core::ptr::null_mut(),
+                        fresh,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => child = fresh,
+                        Err(winner) => {
+                            // SAFETY: the loser's candidate never escaped.
+                            unsafe { drop(Box::from_raw(fresh as *mut Segment)) };
+                            child = winner;
+                        }
+                    }
+                }
+                seg = child as *mut Segment;
+            }
+            // SAFETY: leaf segment reached above; immortal until drop.
+            return unsafe { &(*seg).slots[index & (SEG_LEN - 1)] };
+        }
+    }
+}
+
+impl Default for GrowableDirectory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for GrowableDirectory {
+    fn drop(&mut self) {
+        /// Frees the segment tree; leaf slot values belong to the caller.
+        unsafe fn free_tree(seg: *mut Segment, height: u32) {
+            if height > 1 {
+                for slot in &(*seg).slots {
+                    let child = slot.load(Ordering::Relaxed) as *mut Segment;
+                    if !child.is_null() {
+                        free_tree(child, height - 1);
+                    }
+                }
+            }
+            drop(Box::from_raw(seg));
+        }
+        let (root, height) = unpack(*self.root.get_mut());
+        // SAFETY: exclusive access; every segment freed exactly once.
+        unsafe { free_tree(root, height) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn val(x: usize) -> *mut u8 {
+        // Sentinel non-null values; never dereferenced.
+        (x * 8 + 8) as *mut u8
+    }
+
+    #[test]
+    fn starts_at_height_one_and_grows_on_demand() {
+        let dir = GrowableDirectory::new();
+        assert_eq!(dir.height(), 1);
+        assert_eq!(dir.capacity(), SEG_LEN);
+        dir.entry(0).store(val(0), Ordering::Release);
+        dir.entry(SEG_LEN - 1).store(val(1), Ordering::Release);
+        assert_eq!(dir.height(), 1, "in-range access must not grow");
+        dir.entry(SEG_LEN).store(val(2), Ordering::Release);
+        assert_eq!(dir.height(), 2);
+        assert_eq!(dir.capacity(), SEG_LEN * SEG_LEN);
+        // Old entries resolve identically through the taller root.
+        assert_eq!(dir.entry(0).load(Ordering::Acquire), val(0));
+        assert_eq!(dir.entry(SEG_LEN - 1).load(Ordering::Acquire), val(1));
+        assert_eq!(dir.entry(SEG_LEN).load(Ordering::Acquire), val(2));
+    }
+
+    #[test]
+    fn far_index_grows_several_levels_at_once() {
+        let dir = GrowableDirectory::new();
+        dir.entry(7).store(val(7), Ordering::Release);
+        let far = SEG_LEN * SEG_LEN * SEG_LEN + 123; // needs height 4
+        dir.entry(far).store(val(9), Ordering::Release);
+        assert_eq!(dir.height(), 4);
+        assert_eq!(dir.entry(far).load(Ordering::Acquire), val(9));
+        assert_eq!(dir.entry(7).load(Ordering::Acquire), val(7));
+    }
+
+    #[test]
+    fn boundary_indices_resolve_to_distinct_slots() {
+        let dir = GrowableDirectory::new();
+        let probes = [
+            0,
+            1,
+            SEG_LEN - 1,
+            SEG_LEN,
+            SEG_LEN + 1,
+            2 * SEG_LEN,
+            SEG_LEN * SEG_LEN - 1,
+            SEG_LEN * SEG_LEN,
+            (1 << 20) - 1,
+            1 << 20,
+            (1 << 20) + 1,
+        ];
+        for (i, &p) in probes.iter().enumerate() {
+            dir.entry(p).store(val(i), Ordering::Release);
+        }
+        for (i, &p) in probes.iter().enumerate() {
+            assert_eq!(dir.entry(p).load(Ordering::Acquire), val(i), "index {p}");
+        }
+    }
+
+    #[test]
+    fn concurrent_growers_and_writers_lose_nothing() {
+        let dir = Arc::new(GrowableDirectory::new());
+        const PER_THREAD: usize = 512;
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let dir = Arc::clone(&dir);
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Stride across segment boundaries per thread.
+                        let index = t * (SEG_LEN * SEG_LEN) + i * 3;
+                        dir.entry(index).store(val(index), Ordering::Release);
+                    }
+                });
+            }
+        });
+        for t in 0..4usize {
+            for i in 0..PER_THREAD {
+                let index = t * (SEG_LEN * SEG_LEN) + i * 3;
+                assert_eq!(dir.entry(index).load(Ordering::Acquire), val(index));
+            }
+        }
+        assert!(dir.height() >= 2);
+    }
+
+    #[test]
+    fn fresh_entries_read_null() {
+        let dir = GrowableDirectory::new();
+        assert!(dir.entry(3).load(Ordering::Acquire).is_null());
+        dir.entry(SEG_LEN * 5).store(val(1), Ordering::Release);
+        assert!(dir.entry(SEG_LEN * 4).load(Ordering::Acquire).is_null());
+    }
+}

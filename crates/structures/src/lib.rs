@@ -23,11 +23,18 @@
 //!
 //! * [`PriorityQueue`] — Shavit–Lotan skiplist priority queue (cite \[43\]);
 //! * [`SplitOrderedSet`] — Shalev–Shavit split-ordered-list hash table
-//!   with lock-free dynamic resizing (cite \[42\]).
+//!   with lock-free dynamic resizing over an unbounded
+//!   [`GrowableDirectory`] (cite \[42\]).
+//!
+//! For heterogeneous runs — several structure types sharing one collector
+//! — [`DynSet`] erases `ConcurrentSet` behind a trait object, and
+//! [`PqAsSet`] adapts the priority queue to the set-shaped interface.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod dyn_set;
+pub mod growable_dir;
 pub mod harris_list;
 pub mod hash_table;
 pub mod lazy_list;
@@ -37,10 +44,12 @@ pub mod skiplist;
 pub mod split_ordered;
 pub mod tagged;
 
+pub use dyn_set::{DynSet, PqAsSet};
+pub use growable_dir::GrowableDirectory;
 pub use harris_list::HarrisList;
 pub use hash_table::LockFreeHashTable;
 pub use lazy_list::LazyList;
 pub use priority_queue::{PriorityQueue, PQ_MAX_HEIGHT, PQ_REQUIRED_SLOTS};
 pub use set_trait::ConcurrentSet;
 pub use skiplist::{SkipList, MAX_HEIGHT, REQUIRED_SLOTS};
-pub use split_ordered::SplitOrderedSet;
+pub use split_ordered::{SplitOrderedSet, DEFAULT_LOAD_FACTOR};

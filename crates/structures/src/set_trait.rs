@@ -27,4 +27,10 @@ pub trait ConcurrentSet<S: Smr>: Send + Sync {
 
     /// Short structure name for benchmark output.
     fn kind(&self) -> &'static str;
+
+    /// For bucketed tables, the current bucket count (exported as a bench
+    /// extra); `None` for structures without a bucket directory.
+    fn bucket_count(&self) -> Option<usize> {
+        None
+    }
 }

@@ -18,26 +18,28 @@
 //! whoever performs the physical unlink; dummy nodes are never removed
 //! (they live until the table drops), so bucket-entry reads need no
 //! protection.
+//!
+//! The bucket directory is a [`GrowableDirectory`] — a lock-free
+//! segment-tree array with a height-tagged root pointer — so the table
+//! grows unboundedly (the old hard cap was 2^20 buckets) with no
+//! stop-the-world resize: doubling the bucket count is one CAS on `size`,
+//! and the directory adds tree levels on demand as new bucket indices are
+//! touched.
 
 use core::marker::PhantomData;
 use core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
 use ts_smr::{Guard, Smr, SmrHandle};
 
+use crate::growable_dir::{GrowableDirectory, MAX_CAPACITY};
 use crate::set_trait::ConcurrentSet;
 use crate::tagged::{is_marked, marked, untagged};
 
-/// Buckets covered by segment 0 (must be a power of two).
-const SEG0_BITS: u32 = 8;
-/// Directory capacity: segment 0 plus doubling segments up to 2^20 buckets.
-const MAX_SEGMENTS: usize = (20 - SEG0_BITS as usize) + 1;
-/// Hard cap on the bucket count the directory can address.
-const MAX_BUCKETS: usize = 1 << 20;
-
-/// Items per bucket that trigger a size doubling (the classic algorithm's
-/// load factor; the paper's fixed table targets 32 — here splitting keeps
-/// chains near this bound instead).
-const LOAD_FACTOR: usize = 4;
+/// Default items per bucket that trigger a size doubling (the classic
+/// algorithm's load factor; the paper's fixed table targets 32 — here
+/// splitting keeps chains near this bound instead). Tunable per table via
+/// [`SplitOrderedSet::with_load_factor`].
+pub const DEFAULT_LOAD_FACTOR: usize = 4;
 
 /// Protection-slot roles during traversal (same rotation as HarrisList).
 const SLOT_A: usize = 0;
@@ -109,14 +111,15 @@ fn so_less(a: (u64, u64), b: (u64, u64)) -> bool {
 
 /// The split-ordered hash set.
 pub struct SplitOrderedSet<S: Smr> {
-    /// Directory of bucket-dummy pointers. Segment 0 covers buckets
-    /// `[0, 2^SEG0_BITS)`; segment `i ≥ 1` covers
-    /// `[2^(SEG0_BITS+i-1), 2^(SEG0_BITS+i))`. Segments allocate lazily.
-    segments: [AtomicPtr<AtomicPtr<u8>>; MAX_SEGMENTS],
-    /// Current bucket count (power of two, ≤ MAX_BUCKETS).
+    /// Growable directory of bucket-dummy pointers, indexed by bucket.
+    /// Tree levels and segments allocate lazily as buckets are touched.
+    directory: GrowableDirectory,
+    /// Current bucket count (power of two, ≤ the directory's capacity).
     size: AtomicUsize,
     /// Resident item count (drives the load-factor splits).
     count: AtomicUsize,
+    /// Items per bucket beyond which the bucket count doubles.
+    load_factor: usize,
     /// Bucket 0's dummy, which is also the head of the whole list.
     head: *mut SoNode,
     _scheme: PhantomData<fn(&S)>,
@@ -128,26 +131,41 @@ unsafe impl<S: Smr> Send for SplitOrderedSet<S> {}
 unsafe impl<S: Smr> Sync for SplitOrderedSet<S> {}
 
 impl<S: Smr> SplitOrderedSet<S> {
-    /// An empty set with the minimum bucket count.
+    /// An empty set with the directory's native starting bucket count.
     pub fn new() -> Self {
-        Self::with_buckets(1 << SEG0_BITS)
+        Self::with_buckets(crate::growable_dir::SEG_LEN)
     }
 
     /// An empty set starting at `initial_buckets` (rounded up to a power
-    /// of two, clamped to the directory capacity).
+    /// of two, clamped to what the directory can ever address).
     pub fn with_buckets(initial_buckets: usize) -> Self {
-        let size = initial_buckets.next_power_of_two().clamp(2, MAX_BUCKETS);
+        let size = initial_buckets.next_power_of_two().clamp(2, MAX_CAPACITY);
         let head = Box::into_raw(SoNode::new(so_dummy_key(0), 0, std::ptr::null_mut()));
         let set = Self {
-            segments: [(); MAX_SEGMENTS].map(|_| AtomicPtr::new(std::ptr::null_mut())),
+            directory: GrowableDirectory::new(),
             size: AtomicUsize::new(size),
             count: AtomicUsize::new(0),
+            load_factor: DEFAULT_LOAD_FACTOR,
             head,
             _scheme: PhantomData,
         };
         set.bucket_entry(0)
             .store(head as *mut u8, Ordering::Release);
         set
+    }
+
+    /// Builder: items-per-bucket threshold beyond which the bucket count
+    /// doubles (default [`DEFAULT_LOAD_FACTOR`]). Lower values split more
+    /// eagerly; `0` doubles on every insert (useful to exercise deep
+    /// directory growth quickly in tests).
+    pub fn with_load_factor(mut self, load_factor: usize) -> Self {
+        self.load_factor = load_factor;
+        self
+    }
+
+    /// The configured items-per-bucket split threshold.
+    pub fn load_factor(&self) -> usize {
+        self.load_factor
     }
 
     /// Current bucket count (diagnostics / tests).
@@ -160,51 +178,11 @@ impl<S: Smr> SplitOrderedSet<S> {
         self.count.load(Ordering::Acquire)
     }
 
-    /// Segment index and offset for `bucket`.
+    /// The directory entry for `bucket`, growing the directory and
+    /// allocating segments on demand.
     #[inline]
-    fn locate(bucket: usize) -> (usize, usize, usize) {
-        if bucket < (1 << SEG0_BITS) {
-            (0, bucket, 1 << SEG0_BITS)
-        } else {
-            let msb = usize::BITS - 1 - bucket.leading_zeros();
-            let seg = (msb - SEG0_BITS + 1) as usize;
-            let seg_len = 1usize << msb;
-            (seg, bucket - seg_len, seg_len)
-        }
-    }
-
-    /// The directory entry for `bucket`, allocating its segment on demand.
     fn bucket_entry(&self, bucket: usize) -> &AtomicPtr<u8> {
-        let (seg, off, seg_len) = Self::locate(bucket);
-        let slot = &self.segments[seg];
-        let mut base = slot.load(Ordering::Acquire);
-        if base.is_null() {
-            let fresh: Box<[AtomicPtr<u8>]> = (0..seg_len)
-                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
-                .collect();
-            let fresh = Box::into_raw(fresh) as *mut AtomicPtr<u8>;
-            match slot.compare_exchange(
-                std::ptr::null_mut(),
-                fresh,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => base = fresh,
-                Err(winner) => {
-                    // SAFETY: `fresh` never escaped; reconstruct with the
-                    // allocation's length to free it.
-                    unsafe {
-                        drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
-                            fresh, seg_len,
-                        )));
-                    }
-                    base = winner;
-                }
-            }
-        }
-        // SAFETY: `base` points at a live `[AtomicPtr<u8>; seg_len]`
-        // allocation that is never freed before `self`.
-        unsafe { &*base.add(off) }
+        self.directory.entry(bucket)
     }
 
     /// Bucket `b`'s parent: `b` with its highest set bit cleared.
@@ -331,10 +309,15 @@ impl<S: Smr> SplitOrderedSet<S> {
         }
     }
 
-    /// Doubles the bucket count when the load factor is exceeded.
+    /// Doubles the bucket count when the load factor is exceeded. The
+    /// only bound is the directory's addressable capacity (2^56 buckets)
+    /// — there is no resize pause: the new buckets' dummies thread in
+    /// lazily as operations touch them.
     fn maybe_split(&self) {
         let size = self.size.load(Ordering::Acquire);
-        if size < MAX_BUCKETS && self.count.load(Ordering::Acquire) > size * LOAD_FACTOR {
+        if size < MAX_CAPACITY
+            && self.count.load(Ordering::Acquire) > size.saturating_mul(self.load_factor)
+        {
             // One winner doubles; losers see the new size on their next op.
             let _ = self
                 .size
@@ -494,33 +477,23 @@ impl<S: Smr> ConcurrentSet<S> for SplitOrderedSet<S> {
     fn kind(&self) -> &'static str {
         "split-ordered"
     }
+
+    fn bucket_count(&self) -> Option<usize> {
+        Some(SplitOrderedSet::bucket_count(self))
+    }
 }
 
 impl<S: Smr> Drop for SplitOrderedSet<S> {
     fn drop(&mut self) {
-        // Exclusive access: free the whole chain (dummies + regulars),
-        // then the directory segments.
+        // Exclusive access: free the whole chain (dummies + regulars);
+        // the directory's own Drop then frees the segment tree (its leaf
+        // slots point at dummies already freed here, which is fine — the
+        // directory never dereferences or frees leaf values).
         let mut cur = self.head as *mut u8;
         while !cur.is_null() {
             // SAFETY: &mut self; each node freed exactly once.
             let node = unsafe { Box::from_raw(untagged(cur).cast::<SoNode>()) };
             cur = node.next.load(Ordering::Relaxed);
-        }
-        for (seg, slot) in self.segments.iter().enumerate() {
-            let base = slot.load(Ordering::Relaxed);
-            if !base.is_null() {
-                let seg_len = if seg == 0 {
-                    1 << SEG0_BITS
-                } else {
-                    1usize << (SEG0_BITS as usize + seg - 1)
-                };
-                // SAFETY: allocated with exactly this length above.
-                unsafe {
-                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
-                        base, seg_len,
-                    )));
-                }
-            }
         }
     }
 }
@@ -536,7 +509,7 @@ mod tests {
         // A bucket's dummy must precede every regular key hashing there.
         for key in [0u64, 1, 7, 42, 1 << 40, u64::MAX] {
             let h = hash64(key);
-            let bucket = (h as usize) & ((1 << SEG0_BITS) - 1);
+            let bucket = (h as usize) & (crate::growable_dir::SEG_LEN - 1);
             assert!(
                 so_dummy_key(bucket) < so_regular_key(h),
                 "dummy({bucket}) must sort before item {key}"
@@ -565,18 +538,49 @@ mod tests {
     }
 
     #[test]
-    fn segment_locate_covers_directory_without_gaps() {
-        for bucket in 0..(1 << 12) {
-            let (seg, off, seg_len) = SplitOrderedSet::<Leaky>::locate(bucket);
-            assert!(seg < MAX_SEGMENTS);
-            assert!(off < seg_len, "offset {off} within segment {seg}");
+    fn load_factor_knob_controls_split_frequency() {
+        // Same key stream, two thresholds: the eager table must end with
+        // strictly more buckets than the lazy one, and both keep the keys.
+        let scheme = Leaky::new();
+        let h = scheme.register();
+        let eager = SplitOrderedSet::<Leaky>::with_buckets(2).with_load_factor(1);
+        let lazy = SplitOrderedSet::<Leaky>::with_buckets(2).with_load_factor(16);
+        assert_eq!(eager.load_factor(), 1);
+        assert_eq!(lazy.load_factor(), 16);
+        for k in 0..512u64 {
+            assert!(eager.insert(&h, k));
+            assert!(lazy.insert(&h, k));
         }
-        // Boundary spot checks.
-        assert_eq!(SplitOrderedSet::<Leaky>::locate(0), (0, 0, 256));
-        assert_eq!(SplitOrderedSet::<Leaky>::locate(255), (0, 255, 256));
-        assert_eq!(SplitOrderedSet::<Leaky>::locate(256), (1, 0, 256));
-        assert_eq!(SplitOrderedSet::<Leaky>::locate(512), (2, 0, 512));
-        assert_eq!(SplitOrderedSet::<Leaky>::locate(1023), (2, 511, 512));
+        assert!(
+            eager.bucket_count() > lazy.bucket_count(),
+            "load factor 1 ({} buckets) must split more than 16 ({} buckets)",
+            eager.bucket_count(),
+            lazy.bucket_count()
+        );
+        for k in 0..512u64 {
+            assert!(eager.contains(&h, k) && lazy.contains(&h, k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn default_load_factor_matches_documented_value() {
+        let set = SplitOrderedSet::<Leaky>::new();
+        assert_eq!(set.load_factor(), DEFAULT_LOAD_FACTOR);
+        assert_eq!(DEFAULT_LOAD_FACTOR, 4);
+    }
+
+    #[test]
+    fn bucket_count_surfaces_through_the_set_trait() {
+        let scheme = Leaky::new();
+        let h = scheme.register();
+        let set = SplitOrderedSet::<Leaky>::with_buckets(4);
+        let as_set: &dyn ConcurrentSet<Leaky> = &set;
+        assert_eq!(as_set.bucket_count(), Some(4));
+        for k in 0..256u64 {
+            set.insert(&h, k);
+        }
+        assert_eq!(as_set.bucket_count(), Some(set.bucket_count()));
+        assert!(as_set.bucket_count().unwrap() > 4);
     }
 
     macro_rules! so_semantics {

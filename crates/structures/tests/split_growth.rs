@@ -1,0 +1,68 @@
+//! Regression: the split-ordered table must grow *past* the old
+//! `MAX_BUCKETS = 2^20` directory cap without losing keys or stalling.
+//!
+//! Load factor 0 means "split on every insert" (the threshold
+//! `count > size * 0` is always met), so a handful of inserts doubles the
+//! bucket count from 2^8 straight through the old cap — bounded
+//! wall-clock, no million-key prefill needed.
+
+use std::time::Instant;
+
+use ts_smr::{Leaky, Smr};
+use ts_structures::growable_dir::MAX_CAPACITY;
+use ts_structures::{ConcurrentSet, SplitOrderedSet};
+
+const OLD_MAX_BUCKETS: usize = 1 << 20;
+
+#[test]
+fn table_grows_past_the_old_directory_cap_without_losing_keys() {
+    let start = Instant::now();
+    let scheme = Leaky::new();
+    let handle = scheme.register();
+    let set = SplitOrderedSet::<Leaky>::with_buckets(256).with_load_factor(0);
+    assert_eq!(set.bucket_count(), 256);
+
+    // Each insert doubles the table: 2^8 -> 2^21 takes 13 keys.
+    let mut crossed_at = None;
+    for k in 0..64u64 {
+        assert!(
+            set.insert(&handle, k.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            "insert {k}"
+        );
+        if crossed_at.is_none() && set.bucket_count() > OLD_MAX_BUCKETS {
+            crossed_at = Some(k + 1);
+        }
+    }
+    let crossed_at = crossed_at.expect("table never crossed 2^20 buckets");
+    assert!(
+        crossed_at <= 16,
+        "doubling-per-insert should cross 2^20 within 16 keys, took {crossed_at}"
+    );
+    assert!(
+        set.bucket_count() > OLD_MAX_BUCKETS,
+        "final table ({} buckets) must exceed the old 2^20 cap",
+        set.bucket_count()
+    );
+    assert!(
+        set.bucket_count() <= MAX_CAPACITY,
+        "growth is bounded only by 2^56"
+    );
+
+    // Nothing lost: every key answers through the point API and the
+    // sequential sweep sees exactly the 64 inserted keys in split order.
+    for k in 0..64u64 {
+        assert!(
+            set.contains(&handle, k.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            "key {k}"
+        );
+    }
+    assert_eq!(set.keys_sequential().len(), 64);
+
+    // "Without stalling": the whole crossing is a few dozen inserts into a
+    // lazily-allocated directory. Generous bound to stay CI-safe in debug.
+    assert!(
+        start.elapsed().as_secs() < 60,
+        "growth past 2^20 took {:?} — directory growth is stalling",
+        start.elapsed()
+    );
+}

@@ -1,0 +1,253 @@
+//! The heterogeneous measurement loop: several structure types, one
+//! shared collector.
+//!
+//! ThreadScan's pitch is *process-wide* reclamation — the collector does
+//! not care what data structures sit on top. The single-structure runner
+//! ([`crate::runner::run_combo`]) cannot show that: it drives exactly one
+//! structure per process. [`run_hetero_combo`] builds every structure of
+//! a weighted [`StructureMix`](crate::params::StructureMix) behind the object-safe
+//! [`DynSet`] interface, wires them all to **one**
+//! scheme instance via [`ErasedSmr`], and has every worker draw the
+//! structure for each operation from the mix's weights
+//! ([`WeightedPick`]). Per-structure op counts and throughput come back
+//! in [`RunResult::per_structure`].
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ts_smr::dynamic::ErasedSmr;
+use ts_smr::{Smr, SmrHandle};
+use ts_structures::DynSet;
+
+use crate::dist::WeightedPick;
+use crate::mix::{prefill_keys, Op, OpMix};
+use crate::params::{SchemeKind, WorkloadParams};
+use crate::runner::{
+    quiesce_and_account, threadscan_extras, AllocBracket, RunResult, StructureOps,
+};
+
+/// Runs one heterogeneous cell: every structure in
+/// `params.structure_mix` under one shared scheme instance.
+///
+/// Each structure is sized by its *own* Figure 3 preset at the cell's
+/// scale ([`WorkloadParams::hetero_cell`]) and prefilled before the
+/// window; each worker keeps one deterministic op stream per structure
+/// (distinct seeds per worker × structure) and picks the target
+/// structure per-op from the mix weights. The result's `structure` label
+/// is `hetero(<mix>)` and `per_structure` carries the split.
+///
+/// # Panics
+///
+/// If `params.structure_mix` is `None`.
+pub fn run_hetero_combo(scheme: SchemeKind, params: &WorkloadParams) -> RunResult {
+    let mix = params
+        .structure_mix
+        .as_ref()
+        .expect("run_hetero_combo needs params.structure_mix");
+    let cells: Vec<WorkloadParams> = mix
+        .entries()
+        .iter()
+        .map(|&(kind, _)| params.hetero_cell(kind))
+        .collect();
+
+    let dyn_scheme = scheme.build(params);
+    let erased = Arc::new(ErasedSmr::new(Arc::clone(&dyn_scheme)));
+    let sets: Vec<Arc<dyn DynSet>> = mix
+        .entries()
+        .iter()
+        .zip(&cells)
+        .map(|(&(kind, _), cell)| kind.build_dyn(cell))
+        .collect();
+
+    let alloc_bracket = AllocBracket::open();
+
+    // Prefill every structure through one temporary handle.
+    {
+        let handle = erased.register();
+        for (set, cell) in sets.iter().zip(&cells) {
+            for key in prefill_keys(cell.initial_size, cell.key_range) {
+                set.insert(&handle, key);
+            }
+        }
+    }
+
+    let stop = AtomicBool::new(false);
+    let start_barrier = Barrier::new(params.threads + 1);
+    let per_structure_ops: Vec<AtomicU64> = (0..sets.len()).map(|_| AtomicU64::new(0)).collect();
+    let elapsed_holder = AtomicU64::new(0);
+
+    let weights = mix.weights();
+    std::thread::scope(|s| {
+        let stop = &stop;
+        let start_barrier = &start_barrier;
+        let per_structure_ops = &per_structure_ops;
+        let sets = &sets;
+        let cells = &cells;
+        let weights = &weights;
+        for t in 0..params.threads {
+            let erased = Arc::clone(&erased);
+            s.spawn(move || {
+                let handle = erased.register();
+                let pick = WeightedPick::new(weights);
+                let mut pick_rng = SmallRng::seed_from_u64(0x4E7E_0517 ^ t as u64);
+                // One deterministic stream per structure: each has its own
+                // key range / shape, so one shared stream would mis-range.
+                let mut mixes: Vec<OpMix> = cells
+                    .iter()
+                    .enumerate()
+                    .map(|(i, cell)| {
+                        OpMix::with_dist(
+                            0x51ED_1E55 ^ ((t as u64) << 8) ^ i as u64,
+                            cell.key_range,
+                            cell.update_pct,
+                            cell.key_dist,
+                        )
+                    })
+                    .collect();
+                let mut local = vec![0u64; sets.len()];
+                start_barrier.wait();
+                // Per-op stop check: ops completed after the flag flips
+                // would be billed outside the measured window (see the
+                // single-structure runner's regression note).
+                while !stop.load(Ordering::Relaxed) {
+                    let i = pick.sample(&mut pick_rng);
+                    match mixes[i].next_op() {
+                        Op::Contains(k) => {
+                            sets[i].contains(&handle, k);
+                        }
+                        Op::Insert(k) => {
+                            sets[i].insert(&handle, k);
+                        }
+                        Op::Remove(k) => {
+                            sets[i].remove(&handle, k);
+                        }
+                    }
+                    local[i] += 1;
+                }
+                for (slot, ops) in per_structure_ops.iter().zip(local) {
+                    slot.fetch_add(ops, Ordering::Relaxed);
+                }
+                // handle drops here: the thread unregisters before exit.
+            });
+        }
+
+        start_barrier.wait();
+        let t0 = std::time::Instant::now();
+        std::thread::sleep(params.duration);
+        stop.store(true, Ordering::Relaxed);
+        elapsed_holder.store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+    });
+
+    let secs = (elapsed_holder.load(Ordering::Relaxed) as f64 / 1e6).max(1e-9);
+    let per_structure: Vec<StructureOps> = mix
+        .entries()
+        .iter()
+        .zip(&per_structure_ops)
+        .map(|(&(kind, _), ops)| {
+            let ops = ops.load(Ordering::Relaxed);
+            StructureOps {
+                structure: kind.label().to_string(),
+                ops,
+                ops_per_sec: ops as f64 / secs,
+            }
+        })
+        .collect();
+    let total_ops: u64 = per_structure.iter().map(|s| s.ops).sum();
+    let bucket_count = sets.iter().find_map(|s| s.bucket_count());
+
+    let ts = threadscan_extras(&*dyn_scheme); // before quiesce (see runner)
+    let (outstanding_after, leaked) = quiesce_and_account(&*dyn_scheme);
+    let alloc = alloc_bracket.close();
+
+    RunResult {
+        scheme: scheme.label().to_string(),
+        structure: format!("hetero({})", mix.label()),
+        threads: params.threads,
+        duration_s: secs,
+        total_ops,
+        ops_per_sec: total_ops as f64 / secs,
+        outstanding_after,
+        leaked,
+        protection_slots: erased.register().protection_slots(),
+        threadscan: ts,
+        alloc,
+        per_structure,
+        bucket_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{StructureKind, StructureMix};
+    use std::time::Duration;
+
+    fn quick_hetero(threads: usize, spec: &str) -> WorkloadParams {
+        WorkloadParams::fig3(StructureKind::Hash, threads)
+            .scaled_down(64)
+            .with_duration(Duration::from_millis(150))
+            .with_structure_mix(StructureMix::parse(spec).unwrap())
+    }
+
+    #[test]
+    fn three_structure_mix_completes_and_splits_ops() {
+        let p = quick_hetero(3, "hash:50,skiplist:30,pq:20");
+        let r = run_hetero_combo(SchemeKind::Epoch, &p);
+        assert_eq!(r.structure, "hetero(hash:50,skiplist:30,pq:20)");
+        assert_eq!(r.per_structure.len(), 3);
+        assert_eq!(
+            r.per_structure.iter().map(|s| s.ops).sum::<u64>(),
+            r.total_ops
+        );
+        assert!(r.total_ops > 0);
+        // The 50%-weighted structure must dominate the 20% one over a
+        // measurement window's worth of draws.
+        assert!(
+            r.per_structure[0].ops > r.per_structure[2].ops,
+            "hash {} vs pq {}",
+            r.per_structure[0].ops,
+            r.per_structure[2].ops
+        );
+        assert!(r.bucket_count.is_none(), "no bucketed structure in mix");
+    }
+
+    #[test]
+    fn split_ordered_in_the_mix_reports_its_directory() {
+        let p = quick_hetero(2, "split-ordered:1,list:1");
+        let r = run_hetero_combo(SchemeKind::Leaky, &p);
+        let buckets = r.bucket_count.expect("split-ordered exports buckets");
+        assert!(buckets >= 2);
+        assert!(r.leaked.is_some(), "leaky accounting preserved");
+    }
+
+    #[test]
+    fn hetero_run_under_threadscan_shares_one_collector() {
+        let mut p = quick_hetero(3, "hash:40,skiplist:40,pq:20");
+        p.ts_buffer_capacity = 64; // force phases within the window
+        p.duration = Duration::from_millis(250);
+        let r = run_hetero_combo(SchemeKind::ThreadScan, &p);
+        assert!(r.total_ops > 0);
+        let ts = r.threadscan.expect("threadscan extras present");
+        // Retirements from *all three* structures funnel into the one
+        // collector the run built.
+        assert!(ts.collects > 0, "no reclamation phases ran");
+    }
+
+    #[test]
+    fn json_carries_the_per_structure_split() {
+        let p = quick_hetero(2, "list:1,pq:1");
+        let r = run_hetero_combo(SchemeKind::Leaky, &p);
+        let json = r.to_json();
+        let v = crate::json::parse(&json).expect("valid JSON");
+        let arr = match v.get("per_structure") {
+            crate::json::Value::Array(a) => a,
+            other => panic!("per_structure not an array: {other:?}"),
+        };
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("structure").as_str(), Some("list"));
+        assert_eq!(arr[1].get("structure").as_str(), Some("pq"));
+        assert!(v.get("bucket_count").is_null(), "no bucketed structure");
+    }
+}

@@ -9,16 +9,20 @@
 //!   skew ablation);
 //! * [`mix`] — deterministic per-thread operation streams;
 //! * [`registry`] — the scheme and structure factories
-//!   ([`SchemeKind::build`], [`StructureKind::build_set`]): one line per
-//!   variant, the only harness code that names concrete types;
+//!   ([`SchemeKind::build`], [`StructureKind::build_set`],
+//!   [`StructureKind::build_dyn`]): one line per variant, the only
+//!   harness code that names concrete types;
 //! * [`runner`] — the measurement loop, driving registry-built
 //!   `Arc<dyn DynSmr>` / `Arc<dyn ConcurrentSet<_>>` objects;
+//! * [`hetero`] — the heterogeneous measurement loop: a weighted
+//!   [`StructureMix`] of structures sharing one scheme instance;
 //! * [`report`] — figure-style series tables + JSON lines.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod dist;
+pub mod hetero;
 pub mod json;
 pub mod mix;
 pub mod params;
@@ -27,9 +31,10 @@ pub mod registry;
 pub mod report;
 pub mod runner;
 
-pub use dist::{KeyDist, ZipfSampler};
+pub use dist::{KeyDist, WeightedPick, ZipfSampler};
+pub use hetero::run_hetero_combo;
 pub use mix::{prefill_keys, Op, OpMix};
-pub use params::{SchemeKind, StructureKind, WorkloadParams};
+pub use params::{SchemeKind, StructureKind, StructureMix, WorkloadParams};
 pub use pq::{run_pq_combo, PqParams};
 pub use report::Report;
-pub use runner::{run_combo, AllocExtras, RunResult, ThreadScanExtras};
+pub use runner::{run_combo, AllocExtras, RunResult, StructureOps, ThreadScanExtras};

@@ -19,6 +19,9 @@ pub enum StructureKind {
     /// Split-ordered-list resizable hash table (intro cite \[42\];
     /// ablations only, not part of the figures).
     SplitOrdered,
+    /// Shavit–Lotan priority queue behind the set-shaped adapter
+    /// (`PqAsSet`); heterogeneous-mix runs only, not part of the figures.
+    Pq,
 }
 
 impl StructureKind {
@@ -42,7 +45,82 @@ impl StructureKind {
             Self::Skip => "skiplist",
             Self::Lazy => "lazy-list",
             Self::SplitOrdered => "split-ordered",
+            Self::Pq => "pq",
         }
+    }
+
+    /// Parses a harness label back to its kind (mix-spec syntax).
+    pub fn parse(label: &str) -> Option<Self> {
+        Some(match label {
+            "list" => Self::List,
+            "hash" => Self::Hash,
+            "skiplist" => Self::Skip,
+            "lazy-list" => Self::Lazy,
+            "split-ordered" => Self::SplitOrdered,
+            "pq" => Self::Pq,
+            _ => return None,
+        })
+    }
+}
+
+/// A weighted multi-structure mix for heterogeneous runs: each worker
+/// draws the structure for every operation from this distribution while
+/// all structures share one scheme instance.
+///
+/// Spec syntax: comma-separated `label:weight` pairs, e.g.
+/// `hash:50,skiplist:30,pq:20` (labels from [`StructureKind::label`],
+/// weights positive integers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructureMix {
+    entries: Vec<(StructureKind, u32)>,
+}
+
+impl StructureMix {
+    /// Parses a `label:weight,label:weight,…` spec.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            let (label, weight) = part
+                .split_once(':')
+                .ok_or_else(|| format!("mix entry `{part}` is not `label:weight`"))?;
+            let kind = StructureKind::parse(label.trim())
+                .ok_or_else(|| format!("unknown structure `{label}` in mix `{spec}`"))?;
+            let weight: u32 = weight
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad weight in mix entry `{part}`"))?;
+            if weight == 0 {
+                return Err(format!("zero weight in mix entry `{part}`"));
+            }
+            if entries.iter().any(|&(k, _)| k == kind) {
+                return Err(format!("duplicate structure `{label}` in mix `{spec}`"));
+            }
+            entries.push((kind, weight));
+        }
+        if entries.is_empty() {
+            return Err(format!("empty mix spec `{spec}`"));
+        }
+        Ok(Self { entries })
+    }
+
+    /// The `(structure, weight)` pairs, in spec order.
+    pub fn entries(&self) -> &[(StructureKind, u32)] {
+        &self.entries
+    }
+
+    /// The weights alone, in spec order (feed to `dist::WeightedPick`).
+    pub fn weights(&self) -> Vec<u32> {
+        self.entries.iter().map(|&(_, w)| w).collect()
+    }
+
+    /// Canonical `label:weight,…` rendering.
+    pub fn label(&self) -> String {
+        self.entries
+            .iter()
+            .map(|(k, w)| format!("{}:{w}", k.label()))
+            .collect::<Vec<_>>()
+            .join(",")
     }
 }
 
@@ -143,6 +221,14 @@ pub struct WorkloadParams {
     pub slow_epoch_delay: Duration,
     /// Slow-epoch delay cadence in operations.
     pub slow_epoch_period_ops: usize,
+    /// Weighted multi-structure mix for heterogeneous runs
+    /// ([`crate::hetero::run_hetero_combo`]); `None` for single-structure
+    /// cells.
+    pub structure_mix: Option<StructureMix>,
+    /// Accumulated [`Self::scaled_down`] factor, so derived cells
+    /// ([`Self::hetero_cell`]) can re-apply the same shrink to their own
+    /// presets.
+    pub scale: usize,
 }
 
 impl WorkloadParams {
@@ -178,6 +264,10 @@ impl WorkloadParams {
             StructureKind::SplitOrdered => {
                 Self::base(StructureKind::SplitOrdered, 131_072, 262_144, threads)
             }
+            // The priority queue draws fresh random priorities rather than
+            // revisiting a key range; a modest resident size keeps
+            // delete-min from draining it between inserts.
+            StructureKind::Pq => Self::base(StructureKind::Pq, 10_000, 20_000, threads),
         }
     }
 
@@ -197,6 +287,8 @@ impl WorkloadParams {
             ts_sort_threads: 0,
             slow_epoch_delay: Duration::from_millis(40),
             slow_epoch_period_ops: 4096,
+            structure_mix: None,
+            scale: 1,
         }
     }
 
@@ -245,7 +337,33 @@ impl WorkloadParams {
         assert!(factor >= 1);
         self.initial_size = (self.initial_size / factor).max(16);
         self.key_range = (self.key_range / factor as u64).max(32);
+        self.scale = self.scale.saturating_mul(factor);
         self
+    }
+
+    /// Builder: the weighted structure mix for a heterogeneous run.
+    pub fn with_structure_mix(mut self, mix: StructureMix) -> Self {
+        self.structure_mix = Some(mix);
+        self
+    }
+
+    /// Derives the single-structure cell for one member of a
+    /// heterogeneous run: `kind`'s own Figure 3 sizing at this cell's
+    /// scale, with this cell's workload shape (duration, update mix, key
+    /// distribution, scheme tuning) carried over.
+    pub fn hetero_cell(&self, kind: StructureKind) -> WorkloadParams {
+        let mut cell = Self::fig3(kind, self.threads).scaled_down(self.scale);
+        cell.duration = self.duration;
+        cell.update_pct = self.update_pct;
+        cell.key_dist = self.key_dist;
+        cell.ts_buffer_capacity = self.ts_buffer_capacity;
+        cell.ts_distribute_frees = self.ts_distribute_frees;
+        cell.ts_exact_match = self.ts_exact_match;
+        cell.ts_shards = self.ts_shards;
+        cell.ts_sort_threads = self.ts_sort_threads;
+        cell.slow_epoch_delay = self.slow_epoch_delay;
+        cell.slow_epoch_period_ops = self.slow_epoch_period_ops;
+        cell
     }
 }
 
@@ -281,5 +399,59 @@ mod tests {
         let p = WorkloadParams::fig3_hash(4).scaled_down(64);
         assert_eq!(p.initial_size, 2048);
         assert_eq!(p.key_range, 4096);
+        assert_eq!(p.scale, 64);
+    }
+
+    #[test]
+    fn structure_labels_round_trip_through_parse() {
+        for kind in StructureKind::EXTENDED {
+            assert_eq!(StructureKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(StructureKind::parse("pq"), Some(StructureKind::Pq));
+        assert_eq!(StructureKind::parse("btree"), None);
+    }
+
+    #[test]
+    fn mix_spec_parses_and_renders_canonically() {
+        let mix = StructureMix::parse("hash:50, skiplist:30 ,pq:20").unwrap();
+        assert_eq!(
+            mix.entries(),
+            [
+                (StructureKind::Hash, 50),
+                (StructureKind::Skip, 30),
+                (StructureKind::Pq, 20),
+            ]
+        );
+        assert_eq!(mix.weights(), [50, 30, 20]);
+        assert_eq!(mix.label(), "hash:50,skiplist:30,pq:20");
+    }
+
+    #[test]
+    fn bad_mix_specs_are_rejected() {
+        assert!(StructureMix::parse("").is_err());
+        assert!(StructureMix::parse("hash").is_err(), "missing weight");
+        assert!(StructureMix::parse("btree:10").is_err(), "unknown label");
+        assert!(StructureMix::parse("hash:0").is_err(), "zero weight");
+        assert!(StructureMix::parse("hash:1,hash:2").is_err(), "duplicate");
+        assert!(StructureMix::parse("hash:x").is_err(), "non-numeric");
+    }
+
+    #[test]
+    fn hetero_cell_sizes_per_structure_but_keeps_the_run_shape() {
+        let mut p = WorkloadParams::fig3(StructureKind::Hash, 6)
+            .scaled_down(64)
+            .with_update_pct(40)
+            .with_ts_buffer(4096)
+            .with_structure_mix(StructureMix::parse("hash:50,skiplist:30,pq:20").unwrap());
+        p.duration = Duration::from_millis(250);
+        let skip = p.hetero_cell(StructureKind::Skip);
+        assert_eq!(skip.structure, StructureKind::Skip);
+        assert_eq!(skip.initial_size, 128_000 / 64);
+        assert_eq!(skip.threads, 6);
+        assert_eq!(skip.update_pct, 40);
+        assert_eq!(skip.ts_buffer_capacity, 4096);
+        assert_eq!(skip.duration, Duration::from_millis(250));
+        let pq = p.hetero_cell(StructureKind::Pq);
+        assert_eq!(pq.initial_size, 10_000 / 64);
     }
 }

@@ -106,6 +106,8 @@ pub fn run_pq_combo(scheme: SchemeKind, params: &PqParams) -> RunResult {
         protection_slots: erased.register().protection_slots(),
         threadscan: None,
         alloc,
+        per_structure: Vec::new(),
+        bucket_count: None,
     }
 }
 

@@ -13,11 +13,11 @@
 use std::sync::Arc;
 
 use ts_sigscan::SignalPlatform;
-use ts_smr::dynamic::DynSmr;
+use ts_smr::dynamic::{DynSmr, ErasedSmr};
 use ts_smr::{EpochScheme, HazardPointers, Leaky, Smr, StackTrackSim, ThreadScanSmr};
 use ts_structures::{
-    ConcurrentSet, HarrisList, LazyList, LockFreeHashTable, SkipList, SplitOrderedSet,
-    PQ_REQUIRED_SLOTS, REQUIRED_SLOTS,
+    ConcurrentSet, DynSet, HarrisList, LazyList, LockFreeHashTable, PqAsSet, SkipList,
+    SplitOrderedSet, PQ_REQUIRED_SLOTS, REQUIRED_SLOTS,
 };
 
 use crate::params::{SchemeKind, StructureKind, WorkloadParams};
@@ -38,7 +38,7 @@ impl SchemeKind {
     /// place in the harness that names concrete scheme types. Callers
     /// hold the result as `Arc<dyn DynSmr>` and, to drive generic
     /// structures with it, wrap it in
-    /// [`ErasedSmr`](ts_smr::dynamic::ErasedSmr).
+    /// [`ErasedSmr`].
     ///
     /// ```
     /// use ts_smr::DynSmr;
@@ -96,7 +96,7 @@ impl StructureKind {
     /// [`ConcurrentSet`] trait and sized from `params`.
     ///
     /// This is the structure registry: one arm per variant. The runner
-    /// instantiates it at `S =` [`ErasedSmr`](ts_smr::dynamic::ErasedSmr)
+    /// instantiates it at `S =` [`ErasedSmr`]
     /// (one monomorphization per structure, any scheme at runtime);
     /// library users and the equivalence tests can instantiate it with a
     /// concrete scheme for the zero-virtual-call fast path.
@@ -114,6 +114,29 @@ impl StructureKind {
             StructureKind::SplitOrdered => Arc::new(SplitOrderedSet::<S>::with_buckets(
                 (params.initial_size / 4).max(2),
             )),
+            StructureKind::Pq => Arc::new(PqAsSet::<S>::new()),
+        }
+    }
+
+    /// Builds this structure behind the object-safe [`DynSet`] interface,
+    /// pinned to [`ErasedSmr`] so every structure in a heterogeneous run
+    /// can share one runtime-chosen scheme.
+    ///
+    /// Same sizing as [`Self::build_set`]; the arms name concrete types
+    /// (rather than delegating) because `Arc<dyn ConcurrentSet<_>>`
+    /// cannot be unsized again to `Arc<dyn DynSet>`.
+    pub fn build_dyn(self, params: &WorkloadParams) -> Arc<dyn DynSet> {
+        match self {
+            StructureKind::List => Arc::new(HarrisList::<ErasedSmr>::new()),
+            StructureKind::Hash => Arc::new(LockFreeHashTable::<ErasedSmr>::for_expected_nodes(
+                params.initial_size,
+            )),
+            StructureKind::Skip => Arc::new(SkipList::<ErasedSmr>::new()),
+            StructureKind::Lazy => Arc::new(LazyList::<ErasedSmr>::new()),
+            StructureKind::SplitOrdered => Arc::new(SplitOrderedSet::<ErasedSmr>::with_buckets(
+                (params.initial_size / 4).max(2),
+            )),
+            StructureKind::Pq => Arc::new(PqAsSet::<ErasedSmr>::new()),
         }
     }
 }
@@ -147,6 +170,38 @@ mod tests {
             assert!(set.remove(&handle, 7));
             assert!(!set.contains(&handle, 7));
         }
+    }
+
+    #[test]
+    fn every_structure_kind_builds_dyn_including_the_pq() {
+        let params = WorkloadParams::fig3(StructureKind::List, 2).scaled_down(64);
+        let scheme = SchemeKind::Epoch.build(&params);
+        let erased = ErasedSmr::new(scheme);
+        let handle = erased.register();
+        let kinds = [
+            StructureKind::List,
+            StructureKind::Hash,
+            StructureKind::Skip,
+            StructureKind::Lazy,
+            StructureKind::SplitOrdered,
+            StructureKind::Pq,
+        ];
+        for kind in kinds {
+            let set = kind.build_dyn(&params);
+            assert!(set.insert(&handle, 7), "{kind:?}");
+            assert!(set.contains(&handle, 7), "{kind:?}");
+            assert!(set.remove(&handle, 7), "{kind:?}");
+        }
+        // Only the split-ordered table reports a directory size.
+        assert!(StructureKind::SplitOrdered
+            .build_dyn(&params)
+            .bucket_count()
+            .is_some());
+        assert_eq!(StructureKind::Pq.build_dyn(&params).bucket_count(), None);
+        assert_eq!(
+            StructureKind::Pq.build_dyn(&params).kind(),
+            "priority-queue"
+        );
     }
 
     #[test]

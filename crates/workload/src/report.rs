@@ -113,6 +113,8 @@ mod tests {
             protection_slots: None,
             threadscan: None,
             alloc: None,
+            per_structure: Vec::new(),
+            bucket_count: None,
         }
     }
 

@@ -117,6 +117,29 @@ impl AllocExtras {
     }
 }
 
+/// Per-structure share of a heterogeneous run.
+#[derive(Debug, Clone)]
+pub struct StructureOps {
+    /// Structure label ([`crate::params::StructureKind::label`]).
+    pub structure: String,
+    /// Completed operations routed to this structure.
+    pub ops: u64,
+    /// This structure's share of throughput (ops/second over the shared
+    /// measurement window).
+    pub ops_per_sec: f64,
+}
+
+impl StructureOps {
+    /// Renders as one JSON object (see [`crate::json`]).
+    pub fn to_json(&self) -> String {
+        crate::json::ObjectBuilder::new()
+            .str("structure", &self.structure)
+            .num("ops", self.ops as f64)
+            .num("ops_per_sec", self.ops_per_sec)
+            .build()
+    }
+}
+
 /// One measured cell.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -145,6 +168,13 @@ pub struct RunResult {
     /// Allocator-counter deltas (`ts-alloc-nodes` builds whose binary
     /// routed allocation through `ts_alloc`; `None` otherwise).
     pub alloc: Option<AllocExtras>,
+    /// Per-structure op counts/throughput for heterogeneous runs
+    /// ([`crate::hetero::run_hetero_combo`]); empty for single-structure
+    /// cells (rendered as JSON `null`).
+    pub per_structure: Vec<StructureOps>,
+    /// Final bucket count, for structures with a bucket directory (the
+    /// split-ordered table); `None` otherwise.
+    pub bucket_count: Option<usize>,
 }
 
 impl ThreadScanExtras {
@@ -184,6 +214,18 @@ impl RunResult {
             Some(extras) => extras.to_json(),
             None => "null".to_string(),
         };
+        let per_structure = if self.per_structure.is_empty() {
+            "null".to_string()
+        } else {
+            format!(
+                "[{}]",
+                self.per_structure
+                    .iter()
+                    .map(StructureOps::to_json)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        };
         crate::json::ObjectBuilder::new()
             .str("scheme", &self.scheme)
             .str("structure", &self.structure)
@@ -197,6 +239,8 @@ impl RunResult {
             )
             .opt_num("leaked", self.leaked.map(|v| v as f64))
             .opt_num("protection_slots", self.protection_slots.map(|v| v as f64))
+            .opt_num("bucket_count", self.bucket_count.map(|v| v as f64))
+            .raw("per_structure", &per_structure)
             .raw("threadscan", &ts)
             .raw("alloc", &alloc)
             .build()
@@ -290,7 +334,7 @@ where
 /// phases would dilute the per-phase latency/sort means and overwrite the
 /// last in-run shard sizes, and the extras should describe the measured
 /// window.
-fn threadscan_extras(scheme: &dyn DynSmr) -> Option<ThreadScanExtras> {
+pub(crate) fn threadscan_extras(scheme: &dyn DynSmr) -> Option<ThreadScanExtras> {
     let ts = scheme
         .as_any()
         .downcast_ref::<ThreadScanSmr<SignalPlatform>>()?;
@@ -404,6 +448,8 @@ pub fn run_combo(scheme: SchemeKind, params: &WorkloadParams) -> RunResult {
         protection_slots,
         threadscan: ts,
         alloc,
+        per_structure: Vec::new(),
+        bucket_count: set.bucket_count(),
     }
 }
 
