@@ -69,6 +69,7 @@ fn with_cache<R>(f: impl FnOnce(&mut ThreadCache) -> R) -> Option<R> {
 #[inline]
 pub fn alloc(class: usize) -> *mut u8 {
     COUNTERS.note_small_alloc();
+    COUNTERS.note_class_alloc(class);
     with_cache(|cache| {
         let list = &mut cache.lists[class];
         let block = list.pop();
@@ -91,6 +92,7 @@ pub fn alloc(class: usize) -> *mut u8 {
 #[inline]
 pub unsafe fn free(class: usize, block: *mut u8) {
     COUNTERS.note_small_free();
+    COUNTERS.note_class_free(class);
     let done = with_cache(|cache| {
         let list = &mut cache.lists[class];
         // SAFETY: caller contract.

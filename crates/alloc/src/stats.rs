@@ -2,7 +2,7 @@
 
 use core::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::size_classes::SPAN_BYTES;
+use crate::size_classes::{NUM_CLASSES, SPAN_BYTES};
 
 /// Process-global allocator counters.
 pub(crate) struct Counters {
@@ -13,6 +13,8 @@ pub(crate) struct Counters {
     spans: AtomicUsize,
     cache_fills: AtomicUsize,
     cache_flushes: AtomicUsize,
+    class_allocs: [AtomicUsize; NUM_CLASSES],
+    class_frees: [AtomicUsize; NUM_CLASSES],
 }
 
 pub(crate) static COUNTERS: Counters = Counters {
@@ -23,6 +25,8 @@ pub(crate) static COUNTERS: Counters = Counters {
     spans: AtomicUsize::new(0),
     cache_fills: AtomicUsize::new(0),
     cache_flushes: AtomicUsize::new(0),
+    class_allocs: [const { AtomicUsize::new(0) }; NUM_CLASSES],
+    class_frees: [const { AtomicUsize::new(0) }; NUM_CLASSES],
 };
 
 impl Counters {
@@ -54,6 +58,14 @@ impl Counters {
     pub(crate) fn note_flush(&self) {
         self.cache_flushes.fetch_add(1, Ordering::Relaxed);
     }
+    #[inline]
+    pub(crate) fn note_class_alloc(&self, class: usize) {
+        self.class_allocs[class].fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub(crate) fn note_class_free(&self, class: usize) {
+        self.class_frees[class].fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// A snapshot of the allocator's lifetime activity.
@@ -75,11 +87,23 @@ pub struct AllocStats {
     pub cache_fills: usize,
     /// Thread-cache flushes to the depot.
     pub cache_flushes: usize,
+    /// Allocations per size class (indexed like
+    /// [`crate::size_classes::class_size`]). Covers both the global hook
+    /// and the node pools.
+    pub class_allocs: [usize; NUM_CLASSES],
+    /// Frees per size class.
+    pub class_frees: [usize; NUM_CLASSES],
 }
 
 /// Reads the current allocator counters.
 pub fn stats() -> AllocStats {
     let spans = COUNTERS.spans.load(Ordering::Relaxed);
+    let mut class_allocs = [0usize; NUM_CLASSES];
+    let mut class_frees = [0usize; NUM_CLASSES];
+    for c in 0..NUM_CLASSES {
+        class_allocs[c] = COUNTERS.class_allocs[c].load(Ordering::Relaxed);
+        class_frees[c] = COUNTERS.class_frees[c].load(Ordering::Relaxed);
+    }
     AllocStats {
         small_allocs: COUNTERS.small_allocs.load(Ordering::Relaxed),
         small_frees: COUNTERS.small_frees.load(Ordering::Relaxed),
@@ -89,6 +113,8 @@ pub fn stats() -> AllocStats {
         span_bytes: spans * SPAN_BYTES,
         cache_fills: COUNTERS.cache_fills.load(Ordering::Relaxed),
         cache_flushes: COUNTERS.cache_flushes.load(Ordering::Relaxed),
+        class_allocs,
+        class_frees,
     }
 }
 
@@ -131,7 +157,20 @@ mod tests {
             span_bytes: 0,
             cache_fills: 0,
             cache_flushes: 0,
+            class_allocs: [0; NUM_CLASSES],
+            class_frees: [0; NUM_CLASSES],
         };
         assert_eq!(s.allocs_per_lock(), 0.0);
+    }
+
+    #[test]
+    fn class_counters_track_their_class() {
+        let before = stats();
+        COUNTERS.note_class_alloc(3);
+        COUNTERS.note_class_alloc(3);
+        COUNTERS.note_class_free(3);
+        let after = stats();
+        assert_eq!(after.class_allocs[3], before.class_allocs[3] + 2);
+        assert_eq!(after.class_frees[3], before.class_frees[3] + 1);
     }
 }

@@ -89,7 +89,29 @@ fn main() {
         s.cache_fills + s.cache_flushes
     );
     println!("#   allocs per lock  {:>12.1}", s.allocs_per_lock());
-    if !real_alloc {
+    if real_alloc {
+        // Only classes with traffic: an idle class row is noise.
+        println!("#\n# active size classes:");
+        println!(
+            "# {:>5} {:>8} {:>12} {:>12} {:>12}",
+            "class", "size", "allocs", "frees", "resident"
+        );
+        for class in 0..ts_alloc::NUM_CLASSES {
+            let (allocs, frees) = (s.class_allocs[class], s.class_frees[class]);
+            if allocs == 0 && frees == 0 {
+                continue;
+            }
+            let size = ts_alloc::class_size(class);
+            println!(
+                "# {:>5} {:>8} {:>12} {:>12} {:>12}",
+                class,
+                size,
+                allocs,
+                frees,
+                allocs.saturating_sub(frees) * size
+            );
+        }
+    } else {
         println!("#   (all zero: system allocator active; pass --real-alloc)");
     }
 

@@ -18,12 +18,13 @@
 
 use std::collections::VecDeque;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
 use crate::buffer::LocalBuffer;
-use crate::config::CollectorConfig;
+use crate::config::{CollectPolicy, CollectorConfig};
 use crate::errors::HeapBlockError;
 use crate::master::MasterBuffer;
 use crate::platform::Platform;
@@ -68,6 +69,16 @@ pub struct Collector<P: Platform> {
     /// sequential sort permanently rather than panicking
     /// mid-reclamation (or retrying a hopeless spawn every phase).
     sort_pool: OnceLock<Option<SortPool>>,
+    /// Registered thread count (mirror of `buffers.len()`), readable
+    /// without the registry lock: sizes the adaptive policy's automatic
+    /// pending watermark on the retire fast path.
+    thread_count: AtomicUsize,
+    /// Adaptive-policy hysteresis latch: `true` while the controller may
+    /// fire. Cleared when an adaptive collect fires; set again only once
+    /// pending falls below half the watermark, so a workload whose
+    /// pending level hovers at the watermark (e.g. pinned survivors that
+    /// no phase can free) cannot collect-storm.
+    adaptive_armed: AtomicBool,
     stats: CollectorStats,
 }
 
@@ -89,6 +100,8 @@ impl<P: Platform> Collector<P> {
             orphans: Mutex::new(Vec::new()),
             free_queue: Mutex::new(VecDeque::new()),
             sort_pool: OnceLock::new(),
+            thread_count: AtomicUsize::new(0),
+            adaptive_armed: AtomicBool::new(true),
             stats: CollectorStats::default(),
         })
     }
@@ -119,6 +132,7 @@ impl<P: Platform> Collector<P> {
         let buffer = Arc::new(LocalBuffer::new(self.config.buffer_capacity));
         let roots = Arc::new(ThreadRoots::new(self.config.max_heap_blocks));
         self.buffers.lock().push(Arc::clone(&buffer));
+        self.thread_count.fetch_add(1, Ordering::Relaxed);
         let token = self.platform.register_current(Arc::clone(&roots));
         ThreadHandle {
             collector: Arc::clone(self),
@@ -153,7 +167,16 @@ impl<P: Platform> Collector<P> {
     /// Nodes currently awaiting a later phase (marked survivors), orphaned
     /// records, records still sitting in live per-thread delete buffers,
     /// and queued distributed frees — everything retired but not yet
-    /// freed. Diagnostic; racy by nature.
+    /// freed. A record occupies exactly one of those four places at any
+    /// time: a collect *moves* buffered records into the master buffer
+    /// and from there into either the survivor list or the free queue
+    /// (never copying), and unregistration moves a buffer's records to
+    /// the orphan list under the same reclaimer lock. The sum therefore
+    /// counts every pending node exactly once — pinned by
+    /// `pending_estimate_counts_each_source_exactly_once`. Diagnostic;
+    /// racy by nature (retires and drains race the four lock
+    /// acquisitions, so the value may be momentarily stale, but never
+    /// double-counts).
     pub fn pending_estimate(&self) -> usize {
         self.reclaim.lock().survivors.len()
             + self.orphans.lock().len()
@@ -188,6 +211,92 @@ impl<P: Platform> Collector<P> {
             self.stats.add(&self.stats.collects_skipped, 1);
             return;
         }
+        self.collect_locked(&mut state, ctx);
+    }
+
+    /// The adaptive policy's pending watermark: the configured value, or —
+    /// when configured `0` — half the aggregate buffer capacity of the
+    /// currently registered threads (i.e. collect once the backlog
+    /// reaches what the Fixed policy would accumulate across half the
+    /// fleet).
+    fn adaptive_pending_watermark(&self) -> usize {
+        match self.config.pending_high_watermark {
+            0 => {
+                let threads = self.thread_count.load(Ordering::Relaxed).max(1);
+                (self.config.buffer_capacity * threads / 2).max(1)
+            }
+            hw => hw,
+        }
+    }
+
+    /// Cheap retire-path proxy for [`Self::pending_estimate`]: two
+    /// relaxed loads instead of four lock acquisitions. Counts the same
+    /// population — retired but not yet destructed, wherever the record
+    /// currently sits (buffered, surviving, orphaned, or queued).
+    fn outstanding_proxy(&self) -> usize {
+        self.stats
+            .retired
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.stats.freed.load(Ordering::Relaxed))
+    }
+
+    /// Whether either adaptive signal is at or above its watermark.
+    fn adaptive_over_watermark(&self) -> bool {
+        if self.outstanding_proxy() >= self.adaptive_pending_watermark() {
+            return true;
+        }
+        match (
+            &self.config.pressure_source,
+            self.config.pressure_high_watermark,
+        ) {
+            (Some(src), hw) if hw > 0 => src.bytes() >= hw,
+            _ => false,
+        }
+    }
+
+    /// Whether every adaptive signal has fallen below half its watermark
+    /// — the hysteresis re-arm threshold.
+    fn adaptive_below_rearm(&self) -> bool {
+        if self.outstanding_proxy() >= self.adaptive_pending_watermark() / 2 {
+            return false;
+        }
+        match (
+            &self.config.pressure_source,
+            self.config.pressure_high_watermark,
+        ) {
+            (Some(src), hw) if hw > 0 => src.bytes() < hw / 2,
+            _ => true,
+        }
+    }
+
+    /// Retire-path check for [`CollectPolicy::Adaptive`]: `true` at most
+    /// once per excursion above a watermark. Relaxed atomics only; the
+    /// Fixed policy never reaches this.
+    fn adaptive_should_collect(&self) -> bool {
+        if self.adaptive_over_watermark() {
+            // `swap` makes exactly one of the racing retirers the
+            // initiator; everyone else keeps working.
+            self.adaptive_armed.swap(false, Ordering::Relaxed)
+        } else {
+            if !self.adaptive_armed.load(Ordering::Relaxed) && self.adaptive_below_rearm() {
+                self.adaptive_armed.store(true, Ordering::Relaxed);
+            }
+            false
+        }
+    }
+
+    /// Adaptive-policy collect: like [`Self::collect_for`], but the
+    /// under-lock re-check is the watermark predicate rather than buffer
+    /// fullness — if a reclaimer ran while we waited for the lock it has
+    /// already relieved the pressure, so go back to work (the §4.2 move,
+    /// applied to the controller).
+    fn collect_adaptive(&self, ctx: &SelfScanContext) {
+        let mut state = self.reclaim.lock();
+        if !self.adaptive_over_watermark() {
+            self.stats.add(&self.stats.collects_skipped, 1);
+            return;
+        }
+        self.stats.add(&self.stats.adaptive_collects, 1);
         self.collect_locked(&mut state, ctx);
     }
 
@@ -303,6 +412,7 @@ impl<P: Platform> Collector<P> {
         unsafe { buffer.drain_into(&mut orphans) };
         drop(orphans);
         self.buffers.lock().retain(|b| !Arc::ptr_eq(b, buffer));
+        self.thread_count.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -388,6 +498,15 @@ impl<P: Platform> ThreadHandle<P> {
                         // before entering the machinery.
                         let ctx = capture_context();
                         self.collector.collect_for(&self.buffer, &ctx);
+                    } else if self.collector.config.collect_policy == CollectPolicy::Adaptive
+                        && self.collector.adaptive_should_collect()
+                    {
+                        // Pending garbage (or allocator pressure) crossed
+                        // the watermark while every buffer is still below
+                        // capacity: collect early rather than letting the
+                        // backlog grow to the fixed trigger.
+                        let ctx = capture_context();
+                        self.collector.collect_adaptive(&ctx);
                     }
                     return;
                 }
@@ -844,5 +963,204 @@ mod tests {
         assert_eq!(snap.threads_scanned, 1);
         assert_eq!(snap.words_scanned, 3);
         drop(handle);
+    }
+
+    #[test]
+    fn adaptive_policy_collects_on_pending_watermark_below_capacity() {
+        // The adaptive controller's whole point: a collect fires when the
+        // pending backlog crosses the watermark even though every local
+        // buffer is far below capacity (the fixed trigger would wait for
+        // 64 retires here).
+        let counter = Arc::new(AtomicUsize::new(0));
+        let collector = Collector::with_config(
+            NullPlatform,
+            CollectorConfig::default()
+                .with_buffer_capacity(64)
+                .with_collect_policy(CollectPolicy::Adaptive)
+                .with_pending_high_watermark(8),
+        );
+        let handle = collector.register();
+        for _ in 0..7 {
+            unsafe { handle.retire(node(&counter)) };
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 0, "below watermark: idle");
+        assert_eq!(collector.stats().collects, 0);
+        unsafe { handle.retire(node(&counter)) };
+        assert_eq!(counter.load(Ordering::SeqCst), 8, "8th retire hit the mark");
+        let snap = collector.stats();
+        assert_eq!(snap.collects, 1);
+        assert_eq!(snap.adaptive_collects, 1);
+        assert!(handle.buffered() < 64, "buffer never filled");
+        drop(handle);
+    }
+
+    #[test]
+    fn adaptive_heap_pressure_fires_with_buffers_below_capacity() {
+        // Satellite regression: the heap-pressure leg alone must initiate
+        // a collect while every local buffer is below capacity and the
+        // pending count is nowhere near its watermark.
+        let gauge = Arc::new(AtomicUsize::new(0));
+        let source = {
+            let gauge = Arc::clone(&gauge);
+            crate::config::PressureSource::new(move || gauge.load(Ordering::Relaxed))
+        };
+        let counter = Arc::new(AtomicUsize::new(0));
+        let collector = Collector::with_config(
+            NullPlatform,
+            CollectorConfig::default()
+                .with_buffer_capacity(64)
+                .with_collect_policy(CollectPolicy::Adaptive)
+                .with_pending_high_watermark(1_000_000)
+                .with_pressure_source(source, 1 << 20),
+        );
+        let handle = collector.register();
+        for _ in 0..3 {
+            unsafe { handle.retire(node(&counter)) };
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 0, "no pressure: idle");
+        gauge.store(2 << 20, Ordering::Relaxed); // allocator reports 2 MiB
+        unsafe { handle.retire(node(&counter)) };
+        assert_eq!(
+            counter.load(Ordering::SeqCst),
+            4,
+            "pressure alone must trigger the phase"
+        );
+        let snap = collector.stats();
+        assert_eq!(snap.adaptive_collects, 1);
+        assert!(handle.buffered() < 64, "buffer stayed below capacity");
+        drop(handle);
+    }
+
+    #[test]
+    fn fixed_policy_matches_legacy_trigger_points_exactly() {
+        // Acceptance pin: `CollectPolicy::Fixed` must be observationally
+        // identical to the pre-policy collector — same trigger points,
+        // equal `collects` counts — even with adaptive knobs set, since
+        // the policy gate is checked before any watermark is consulted.
+        let run = |config: CollectorConfig| {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let collector = Collector::with_config(NullPlatform, config);
+            let handle = collector.register();
+            let mut collect_points = Vec::new();
+            for i in 1..=32usize {
+                unsafe { handle.retire(node(&counter)) };
+                if counter.load(Ordering::SeqCst) == i {
+                    collect_points.push(i);
+                }
+            }
+            drop(handle);
+            (collect_points, collector.stats().collects)
+        };
+        let legacy = CollectorConfig::default().with_buffer_capacity(8);
+        let fixed_with_knobs = CollectorConfig::default()
+            .with_buffer_capacity(8)
+            .with_pending_high_watermark(1); // ignored: policy stays Fixed
+        let (legacy_points, legacy_collects) = run(legacy);
+        let (fixed_points, fixed_collects) = run(fixed_with_knobs);
+        assert_eq!(legacy_points, vec![8, 16, 24, 32], "full-buffer multiples");
+        assert_eq!(fixed_points, legacy_points);
+        assert_eq!(fixed_collects, legacy_collects);
+        assert_eq!(fixed_collects, 4);
+    }
+
+    #[test]
+    fn adaptive_hysteresis_fires_once_per_excursion() {
+        // Survivors a phase cannot free keep the pending proxy above the
+        // watermark; without the armed latch every subsequent retire
+        // would initiate another phase (a collect storm).
+        let counter = Arc::new(AtomicUsize::new(0));
+        let platform = PinPlatform::default();
+        let pinned: Vec<*mut Node> = (0..4).map(|_| node(&counter)).collect();
+        platform
+            .rooted
+            .lock()
+            .extend(pinned.iter().map(|&p| p as usize));
+        let collector = Collector::with_config(
+            platform,
+            CollectorConfig::default()
+                .with_buffer_capacity(64)
+                .with_collect_policy(CollectPolicy::Adaptive)
+                .with_pending_high_watermark(4),
+        );
+        let handle = collector.register();
+        for &p in &pinned {
+            unsafe { handle.retire(p) };
+        }
+        // The 4th retire fired; every node was marked, so all survive.
+        let snap = collector.stats();
+        assert_eq!(snap.adaptive_collects, 1);
+        assert_eq!(snap.survivors, 4);
+        assert_eq!(counter.load(Ordering::SeqCst), 0);
+        // Pending stays >= the watermark, but the controller is disarmed:
+        // further retires must NOT trigger more adaptive phases.
+        for _ in 0..8 {
+            unsafe { handle.retire(node(&counter)) };
+        }
+        let snap = collector.stats();
+        assert_eq!(snap.adaptive_collects, 1, "disarmed: no collect storm");
+        assert_eq!(snap.collects, 1);
+
+        // Unpin, drain, and let pending fall below half the watermark:
+        // the controller re-arms and a fresh excursion fires again.
+        collector.platform().rooted.lock().clear();
+        collector.collect_now();
+        assert_eq!(counter.load(Ordering::SeqCst), 12, "everything freed");
+        for _ in 0..4 {
+            unsafe { handle.retire(node(&counter)) };
+        }
+        assert_eq!(collector.stats().adaptive_collects, 2, "re-armed and fired");
+        drop(handle);
+    }
+
+    #[test]
+    fn pending_estimate_counts_each_source_exactly_once() {
+        // Regression pin for the estimate's no-double-counting contract:
+        // survivors, the distributed-free queue, live buffers, and
+        // orphans each hold a record exclusively, so the estimate equals
+        // `retired - freed` at every step.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let platform = PinPlatform::default();
+        let pinned = node(&counter);
+        platform.rooted.lock().push(pinned as usize);
+        let collector = Collector::with_config(
+            platform,
+            CollectorConfig {
+                // Batch 0: retires never drain the queue behind our back.
+                distributed_free_batch: 0,
+                ..CollectorConfig::default()
+            }
+            .with_buffer_capacity(4)
+            .with_distributed_frees(true),
+        );
+        let handle = collector.register();
+        unsafe { handle.retire(pinned) };
+        for _ in 0..3 {
+            unsafe { handle.retire(node(&counter)) };
+        }
+        // Phase ran: 1 survivor (pinned), 3 queued frees, empty buffer.
+        assert_eq!(collector.reclaim.lock().survivors.len(), 1);
+        assert_eq!(collector.free_queue.lock().len(), 3);
+        assert_eq!(collector.pending_estimate(), 4);
+        assert_eq!(collector.stats().outstanding(), 4);
+
+        // Two more sit in the live buffer: 1 + 3 + 2, no double counts.
+        for _ in 0..2 {
+            unsafe { handle.retire(node(&counter)) };
+        }
+        assert_eq!(handle.buffered(), 2);
+        assert_eq!(collector.pending_estimate(), 6);
+        assert_eq!(collector.stats().outstanding(), 6);
+
+        // Unregistering moves the 2 buffered records to the orphan list —
+        // moved, not copied: the estimate must not change.
+        drop(handle);
+        assert_eq!(collector.orphans.lock().len(), 2);
+        assert_eq!(collector.pending_estimate(), 6);
+
+        // A forced phase frees everything except the pinned survivor.
+        collector.collect_now();
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+        assert_eq!(collector.pending_estimate(), 1);
+        assert_eq!(collector.stats().outstanding(), 1);
     }
 }

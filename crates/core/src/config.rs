@@ -3,6 +3,56 @@
 //! Defaults follow the paper's experimental setup (§6): 1024 pointers per
 //! thread, with the hash-table experiments in Figure 4 tuned to 4096.
 
+use std::sync::Arc;
+
+/// When the collector initiates reclamation phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CollectPolicy {
+    /// The paper's trigger, bit for bit: a thread collects exactly when
+    /// its own delete buffer fills. No other signal is consulted, so the
+    /// trigger points — and the resulting `collects` count — are
+    /// identical to the pre-policy collector.
+    #[default]
+    Fixed,
+    /// Fixed's full-buffer trigger **plus** a pending-garbage controller:
+    /// a retire also initiates a collect when the process-wide count of
+    /// retired-but-unfreed nodes crosses
+    /// [`CollectorConfig::pending_high_watermark`], or when the external
+    /// pressure source (typically the node pools' bytes-resident gauge)
+    /// crosses [`CollectorConfig::pressure_high_watermark`]. Hysteresis:
+    /// after firing, the controller re-arms only once pending drops below
+    /// half the watermark, so oversubscribed runs — where survivors keep
+    /// pending permanently high — cannot collect-storm.
+    Adaptive,
+}
+
+/// An externally supplied heap-pressure gauge for the adaptive policy —
+/// bytes of allocator memory currently resident, polled (relaxed, cheap)
+/// on the retire path. Typically wraps
+/// `ts_alloc::pool_bytes_resident`; injected as a closure so the
+/// collector stays allocator-agnostic.
+#[derive(Clone)]
+pub struct PressureSource(Arc<dyn Fn() -> usize + Send + Sync>);
+
+impl PressureSource {
+    /// Wraps a bytes-resident gauge.
+    pub fn new(f: impl Fn() -> usize + Send + Sync + 'static) -> Self {
+        Self(Arc::new(f))
+    }
+
+    /// Reads the gauge.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        (self.0)()
+    }
+}
+
+impl std::fmt::Debug for PressureSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PressureSource(..)")
+    }
+}
+
 /// How a scanned word is matched against the sorted delete buffer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MatchMode {
@@ -71,18 +121,41 @@ pub struct CollectorConfig {
     /// `min(shards, available_parallelism)` — more sorters than shards
     /// (or than cores) cannot shorten the critical path.
     pub sort_threads: usize,
+    /// When collects are initiated (see [`CollectPolicy`]). Default:
+    /// [`CollectPolicy::Fixed`], the paper's full-buffer trigger.
+    pub collect_policy: CollectPolicy,
+    /// Adaptive only: pending retired-node count (the cheap
+    /// `retired − freed` proxy for
+    /// [`pending_estimate`](crate::Collector::pending_estimate)) above
+    /// which a retire initiates a collect even though every local buffer
+    /// is still below capacity. `0` (default) auto-sizes to half the
+    /// aggregate buffer capacity of the currently registered threads —
+    /// i.e. collect when the backlog reaches what the Fixed policy would
+    /// accumulate across half the fleet.
+    pub pending_high_watermark: usize,
+    /// Adaptive only: allocator bytes-resident level (read from
+    /// [`Self::pressure_source`]) above which a retire initiates a
+    /// collect. `0` (default) disables the heap-pressure trigger.
+    pub pressure_high_watermark: usize,
+    /// Adaptive only: the bytes-resident gauge backing the heap-pressure
+    /// trigger; `None` (default) disables it.
+    pub pressure_source: Option<PressureSource>,
 }
 
 /// Default shard count: the number of hardware threads, rounded up to a
 /// power of two and capped — the reclaimer aggregates one delete buffer
 /// per thread, so this keeps per-shard sort work roughly one buffer's
-/// worth at full load.
+/// worth at full load. On multi-socket machines the count is scaled by
+/// the NUMA node count (from [`crate::platform::topology`]): sorts are
+/// memory-bound, so finer shards give each node's pinned sorters
+/// node-sized chunks. Single-node machines — the common case — get
+/// exactly the old value.
 fn default_shards() -> usize {
-    std::thread::available_parallelism()
+    let threads = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
-        .next_power_of_two()
-        .min(64)
+        .unwrap_or(1);
+    let nodes = crate::platform::topology().node_count().max(1);
+    (threads * nodes).next_power_of_two().min(64)
 }
 
 /// Default sort-thread count: one sorter per shard, but never more than
@@ -107,6 +180,10 @@ impl Default for CollectorConfig {
             max_heap_blocks: 16,
             shards,
             sort_threads: default_sort_threads(shards),
+            collect_policy: CollectPolicy::default(),
+            pending_high_watermark: 0,
+            pressure_high_watermark: 0,
+            pressure_source: None,
         }
     }
 }
@@ -174,6 +251,36 @@ impl CollectorConfig {
         self.sort_threads = sort_threads;
         self
     }
+
+    /// Builder-style override of the collect policy.
+    pub fn with_collect_policy(mut self, policy: CollectPolicy) -> Self {
+        self.collect_policy = policy;
+        self
+    }
+
+    /// Builder-style override of the adaptive pending watermark
+    /// (`0` = auto-size from the registered buffers).
+    pub fn with_pending_high_watermark(mut self, watermark: usize) -> Self {
+        self.pending_high_watermark = watermark;
+        self
+    }
+
+    /// Builder-style heap-pressure trigger: initiate a collect when
+    /// `source` reports at least `bytes_high_watermark` resident bytes.
+    /// Only consulted under [`CollectPolicy::Adaptive`].
+    pub fn with_pressure_source(
+        mut self,
+        source: PressureSource,
+        bytes_high_watermark: usize,
+    ) -> Self {
+        assert!(
+            bytes_high_watermark > 0,
+            "pressure watermark must be positive"
+        );
+        self.pressure_source = Some(source);
+        self.pressure_high_watermark = bytes_high_watermark;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +293,14 @@ mod tests {
         assert_eq!(cfg.buffer_capacity, 1024);
         assert_eq!(cfg.match_mode, MatchMode::Range);
         assert!(!cfg.distribute_frees);
+        assert_eq!(
+            cfg.collect_policy,
+            CollectPolicy::Fixed,
+            "the paper's fixed full-buffer trigger must stay the default"
+        );
+        assert_eq!(cfg.pending_high_watermark, 0);
+        assert_eq!(cfg.pressure_high_watermark, 0);
+        assert!(cfg.pressure_source.is_none());
         assert!(cfg.shards >= 1, "default shards derive from parallelism");
         assert!(cfg.shards <= 64);
         assert!(cfg.sort_threads >= 1, "sort_threads defaults to >= 1");
@@ -263,5 +378,27 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn tiny_buffer_rejected() {
         let _ = CollectorConfig::default().with_buffer_capacity(1);
+    }
+
+    #[test]
+    fn policy_builders_compose_and_stay_clonable() {
+        let gauge = PressureSource::new(|| 4096);
+        let cfg = CollectorConfig::default()
+            .with_collect_policy(CollectPolicy::Adaptive)
+            .with_pending_high_watermark(512)
+            .with_pressure_source(gauge, 1 << 20);
+        assert_eq!(cfg.collect_policy, CollectPolicy::Adaptive);
+        assert_eq!(cfg.pending_high_watermark, 512);
+        assert_eq!(cfg.pressure_high_watermark, 1 << 20);
+        // Config must remain Clone + Debug with a live gauge attached.
+        let copy = cfg.clone();
+        assert_eq!(copy.pressure_source.as_ref().unwrap().bytes(), 4096);
+        assert!(format!("{copy:?}").contains("PressureSource"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_pressure_watermark_rejected() {
+        let _ = CollectorConfig::default().with_pressure_source(PressureSource::new(|| 0), 0);
     }
 }

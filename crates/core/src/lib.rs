@@ -60,7 +60,7 @@ pub mod session;
 pub mod stats;
 
 pub use collector::{Collector, ThreadHandle};
-pub use config::{CollectorConfig, MatchMode};
+pub use config::{CollectPolicy, CollectorConfig, MatchMode, PressureSource};
 pub use errors::HeapBlockError;
 pub use platform::{NullPlatform, Platform, ScanOutcome};
 pub use pool::SortPool;

@@ -78,11 +78,30 @@ impl SortPool {
             shared,
             workers: Vec::with_capacity(workers),
         };
-        for i in 0..workers {
+        // On multi-socket machines, pin workers round-robin across NUMA
+        // nodes: each shard sort streams its entries from memory, so
+        // spreading sorters over the domains spreads the bandwidth too.
+        // Single-node machines get unpinned workers, exactly as before —
+        // pinning there can only fight the scheduler.
+        let topo = crate::platform::topology();
+        let cpus: Vec<Option<usize>> = if topo.node_count() > 1 {
+            topo.round_robin_cpus(workers)
+                .into_iter()
+                .map(Some)
+                .collect()
+        } else {
+            vec![None; workers]
+        };
+        for (i, cpu) in cpus.into_iter().enumerate() {
             let shared = Arc::clone(&pool.shared);
             let handle = std::thread::Builder::new()
                 .name(format!("ts-sort-{i}"))
-                .spawn(move || worker_loop(&shared))?;
+                .spawn(move || {
+                    if let Some(cpu) = cpu {
+                        pin_to_cpu(cpu);
+                    }
+                    worker_loop(&shared)
+                })?;
             pool.workers.push(handle);
         }
         Ok(pool)
@@ -144,6 +163,35 @@ impl Drop for SortPool {
         }
     }
 }
+
+/// Best-effort affinity: binds the calling thread to `cpu`. The vendored
+/// libc surface exposes only the raw variadic `syscall`, so the CPU mask
+/// is built by hand and handed to `sched_setaffinity(0, ...)` directly.
+/// Failure (masked CPU under a cpuset, exotic kernel) leaves the worker
+/// unpinned — the pool works either way, pinning is purely a locality
+/// optimization.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn pin_to_cpu(cpu: usize) {
+    const SYS_SCHED_SETAFFINITY: libc::c_long = 203;
+    let mut mask = [0u64; 16]; // cpu_set_t-sized: up to 1024 CPUs
+    if cpu >= mask.len() * 64 {
+        return;
+    }
+    mask[cpu / 64] = 1u64 << (cpu % 64);
+    // SAFETY: sched_setaffinity reads `size_of(mask)` bytes from a valid,
+    // live mask and touches nothing else; 0 means the calling thread.
+    unsafe {
+        let _ = libc::syscall(
+            SYS_SCHED_SETAFFINITY,
+            0usize,
+            core::mem::size_of_val(&mask),
+            mask.as_ptr(),
+        );
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn pin_to_cpu(_cpu: usize) {}
 
 fn worker_loop(shared: &Shared) {
     loop {

@@ -17,6 +17,11 @@ pub struct CollectorStats {
     /// Collect attempts that found an already-drained buffer and returned
     /// to work without scanning (§4.2: "it can go back to work").
     pub collects_skipped: AtomicUsize,
+    /// Completed phases initiated by the adaptive controller (pending
+    /// watermark or heap pressure) rather than by a full buffer. A subset
+    /// of [`Self::collects`]; always zero under
+    /// [`CollectPolicy::Fixed`](crate::CollectPolicy::Fixed).
+    pub adaptive_collects: AtomicUsize,
     /// Nodes handed to `retire`.
     pub retired: AtomicUsize,
     /// Nodes whose destructor ran.
@@ -79,6 +84,7 @@ fn hist_bucket(ns: usize) -> usize {
 pub struct StatsSnapshot {
     pub collects: usize,
     pub collects_skipped: usize,
+    pub adaptive_collects: usize,
     pub retired: usize,
     pub freed: usize,
     pub survivors: usize,
@@ -101,6 +107,7 @@ impl CollectorStats {
         StatsSnapshot {
             collects: self.collects.load(Ordering::Relaxed),
             collects_skipped: self.collects_skipped.load(Ordering::Relaxed),
+            adaptive_collects: self.adaptive_collects.load(Ordering::Relaxed),
             retired: self.retired.load(Ordering::Relaxed),
             freed: self.freed.load(Ordering::Relaxed),
             survivors: self.survivors.load(Ordering::Relaxed),

@@ -83,10 +83,15 @@ pub struct PqAsSet<S: Smr> {
 }
 
 impl<S: Smr> PqAsSet<S> {
-    /// An empty queue.
+    /// An empty queue allocating nodes from the global heap.
     pub fn new() -> Self {
+        Self::with_alloc(crate::node_alloc::NodeAlloc::Global)
+    }
+
+    /// An empty queue allocating nodes through `alloc`.
+    pub fn with_alloc(alloc: crate::node_alloc::NodeAlloc) -> Self {
         Self {
-            inner: PriorityQueue::new(),
+            inner: PriorityQueue::with_alloc(alloc),
             empty_pops: AtomicUsize::new(0),
         }
     }

@@ -19,8 +19,9 @@
 use core::marker::PhantomData;
 use core::sync::atomic::{AtomicPtr, Ordering};
 
-use ts_smr::{Guard, Smr, SmrHandle};
+use ts_smr::{DropFn, Guard, Smr, SmrHandle};
 
+use crate::node_alloc::NodeAlloc;
 use crate::set_trait::ConcurrentSet;
 use crate::tagged::{is_marked, marked, untagged};
 
@@ -43,12 +44,12 @@ pub(crate) struct Node {
 }
 
 impl Node {
-    fn new(key: u64, next: *mut u8) -> Box<Self> {
-        Box::new(Self {
+    fn new(key: u64, next: *mut u8) -> Self {
+        Self {
             next: AtomicPtr::new(next),
             key,
             _pad: [0; NODE_PAD],
-        })
+        }
     }
 }
 
@@ -56,6 +57,10 @@ impl Node {
 pub struct HarrisList<S: Smr> {
     /// Acts as the predecessor field for the first node.
     head: AtomicPtr<u8>,
+    /// Where nodes come from (global heap by default, or a node pool).
+    alloc: NodeAlloc,
+    /// The matching stateless deallocator, passed to every retire.
+    drop_node: DropFn,
     _scheme: PhantomData<fn(&S)>,
 }
 
@@ -64,10 +69,17 @@ unsafe impl<S: Smr> Send for HarrisList<S> {}
 unsafe impl<S: Smr> Sync for HarrisList<S> {}
 
 impl<S: Smr> HarrisList<S> {
-    /// An empty list.
+    /// An empty list allocating nodes from the global heap.
     pub fn new() -> Self {
+        Self::with_alloc(NodeAlloc::Global)
+    }
+
+    /// An empty list allocating nodes through `alloc`.
+    pub fn with_alloc(alloc: NodeAlloc) -> Self {
         Self {
             head: AtomicPtr::new(std::ptr::null_mut()),
+            drop_node: alloc.drop_fn::<Node>(),
+            alloc,
             _scheme: PhantomData,
         }
     }
@@ -113,7 +125,7 @@ impl<S: Smr> HarrisList<S> {
                                 g.retire(
                                     curr_node_ptr as usize,
                                     core::mem::size_of::<Node>(),
-                                    drop_node,
+                                    self.drop_node,
                                 )
                             };
                             curr = untagged(next);
@@ -163,11 +175,6 @@ impl<S: Smr> HarrisList<S> {
     }
 }
 
-/// Type-erased destructor used when retiring list nodes.
-unsafe fn drop_node(p: *mut u8) {
-    drop(Box::from_raw(p.cast::<Node>()));
-}
-
 impl<S: Smr> Default for HarrisList<S> {
     fn default() -> Self {
         Self::new()
@@ -209,12 +216,12 @@ impl<S: Smr> ConcurrentSet<S> for HarrisList<S> {
 
     fn insert(&self, h: &S::Handle, key: u64) -> bool {
         let g = h.pin();
-        let node = Box::into_raw(Node::new(key, std::ptr::null_mut()));
+        let node = self.alloc.alloc(Node::new(key, std::ptr::null_mut()));
         loop {
             let (prev, curr) = self.search(&g, key);
             if !curr.is_null() && unsafe { (*curr).key } == key {
                 // SAFETY: `node` was never published.
-                unsafe { drop(Box::from_raw(node)) };
+                unsafe { (self.drop_node)(node as *mut u8) };
                 break false;
             }
             // SAFETY: node is ours until the CAS publishes it.
@@ -263,7 +270,9 @@ impl<S: Smr> ConcurrentSet<S> for HarrisList<S> {
                     .is_ok()
                 {
                     // SAFETY: we performed the unlink; single retire.
-                    unsafe { g.retire(curr as usize, core::mem::size_of::<Node>(), drop_node) };
+                    unsafe {
+                        g.retire(curr as usize, core::mem::size_of::<Node>(), self.drop_node)
+                    };
                 } else {
                     let _ = self.search(&g, key); // helper unlinks + retires
                 }
@@ -284,9 +293,12 @@ impl<S: Smr> Drop for HarrisList<S> {
         let mut cur = untagged(self.head.load(Ordering::Relaxed));
         while !cur.is_null() {
             // SAFETY: &mut self means no concurrent access; each node is
-            // freed exactly once along the chain.
-            let node = unsafe { Box::from_raw(cur.cast::<Node>()) };
-            cur = untagged(node.next.load(Ordering::Relaxed));
+            // freed exactly once along the chain (next read before free).
+            unsafe {
+                let next = untagged((*cur.cast::<Node>()).next.load(Ordering::Relaxed));
+                (self.drop_node)(cur);
+                cur = next;
+            }
         }
     }
 }

@@ -15,8 +15,9 @@
 use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::marker::PhantomData;
 
-use ts_smr::{Guard, Smr, SmrHandle};
+use ts_smr::{DropFn, Guard, Smr, SmrHandle};
 
+use crate::node_alloc::NodeAlloc;
 use crate::set_trait::ConcurrentSet;
 
 /// Padding to the paper's 172-byte node size, matching the Harris list so
@@ -37,14 +38,14 @@ struct LazyNode {
 }
 
 impl LazyNode {
-    fn alloc(key: u64, next: *mut u8) -> *mut LazyNode {
-        Box::into_raw(Box::new(LazyNode {
+    fn new(key: u64, next: *mut u8) -> LazyNode {
+        LazyNode {
             next: AtomicPtr::new(next),
             key,
             lock: AtomicBool::new(false),
             marked: AtomicBool::new(false),
             _pad: [0; NODE_PAD],
-        }))
+        }
     }
 
     fn lock(&self) {
@@ -62,11 +63,6 @@ impl LazyNode {
     }
 }
 
-/// Type-erased destructor used when retiring lazy-list nodes.
-unsafe fn drop_lazy_node(p: *mut u8) {
-    drop(Box::from_raw(p.cast::<LazyNode>()));
-}
-
 /// The lazy list: fine-grained locking for updates, invisible traversals
 /// for everything.
 pub struct LazyList<S: Smr> {
@@ -76,6 +72,10 @@ pub struct LazyList<S: Smr> {
     /// Lock guarding head-position updates (plays the role of the head
     /// sentinel's node lock).
     head_lock: AtomicBool,
+    /// Where nodes come from (global heap by default, or a node pool).
+    alloc: NodeAlloc,
+    /// The matching stateless deallocator, passed to every retire.
+    drop_node: DropFn,
     _scheme: PhantomData<fn(&S)>,
 }
 
@@ -84,11 +84,18 @@ unsafe impl<S: Smr> Send for LazyList<S> {}
 unsafe impl<S: Smr> Sync for LazyList<S> {}
 
 impl<S: Smr> LazyList<S> {
-    /// An empty lazy list.
+    /// An empty lazy list allocating nodes from the global heap.
     pub fn new() -> Self {
+        Self::with_alloc(NodeAlloc::Global)
+    }
+
+    /// An empty lazy list allocating nodes through `alloc`.
+    pub fn with_alloc(alloc: NodeAlloc) -> Self {
         Self {
             head: AtomicPtr::new(std::ptr::null_mut()),
             head_lock: AtomicBool::new(false),
+            drop_node: alloc.drop_fn::<LazyNode>(),
+            alloc,
             _scheme: PhantomData,
         }
     }
@@ -228,7 +235,7 @@ impl<S: Smr> ConcurrentSet<S> for LazyList<S> {
             }
             self.lock_pred(pred);
             if self.validate(pred, curr) {
-                let node = LazyNode::alloc(key, curr as *mut u8);
+                let node = self.alloc.alloc(LazyNode::new(key, curr as *mut u8));
                 self.pred_field(pred)
                     .store(node as *mut u8, Ordering::Release);
                 self.unlock_pred(pred);
@@ -266,7 +273,7 @@ impl<S: Smr> ConcurrentSet<S> for LazyList<S> {
                     g.retire(
                         curr as usize,
                         core::mem::size_of::<LazyNode>(),
-                        drop_lazy_node,
+                        self.drop_node,
                     )
                 };
                 break true;
@@ -285,9 +292,13 @@ impl<S: Smr> Drop for LazyList<S> {
     fn drop(&mut self) {
         let mut cur = self.head.load(Ordering::Relaxed);
         while !cur.is_null() {
-            // SAFETY: &mut self; chain links each node once.
-            let node = unsafe { Box::from_raw(cur.cast::<LazyNode>()) };
-            cur = node.next.load(Ordering::Relaxed);
+            // SAFETY: &mut self; chain links each node once (next read
+            // before the node is freed).
+            unsafe {
+                let next = (*cur.cast::<LazyNode>()).next.load(Ordering::Relaxed);
+                (self.drop_node)(cur);
+                cur = next;
+            }
         }
     }
 }

@@ -37,7 +37,9 @@ use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::cell::Cell;
 use std::marker::PhantomData;
 
-use ts_smr::{Guard, Smr, SmrHandle};
+use ts_smr::{DropFn, Guard, Smr, SmrHandle};
+
+use crate::node_alloc::NodeAlloc;
 
 /// Maximum tower height; same fan-out rationale as the set skip list.
 pub const PQ_MAX_HEIGHT: usize = 12;
@@ -69,8 +71,8 @@ struct PqNode {
 }
 
 impl PqNode {
-    fn new(key: u64, top_level: usize) -> Box<Self> {
-        Box::new(Self {
+    fn new(key: u64, top_level: usize) -> Self {
+        Self {
             next: [(); PQ_MAX_HEIGHT].map(|_| AtomicPtr::new(std::ptr::null_mut())),
             key,
             top_level,
@@ -79,7 +81,7 @@ impl PqNode {
             claimed: AtomicBool::new(false),
             fully_linked: AtomicBool::new(false),
             unlinked: AtomicBool::new(false),
-        })
+        }
     }
 
     fn lock(&self) {
@@ -97,11 +99,6 @@ impl PqNode {
     }
 }
 
-/// Type-erased destructor used when retiring queue nodes.
-unsafe fn drop_pq_node(p: *mut u8) {
-    drop(Box::from_raw(p.cast::<PqNode>()));
-}
-
 /// Debug-build tripwire: panics if a retry loop spins absurdly long,
 /// turning silent livelocks into diagnosable failures.
 #[inline]
@@ -116,8 +113,13 @@ fn watchdog(counter: &mut u64, what: &str) {
 /// lock-free logical deletion, lazy physical removal, reclamation via `S`.
 pub struct PriorityQueue<S: Smr> {
     /// Sentinel head (see module docs): locked like any node, never
-    /// marked/claimed/removed; its key is never compared.
+    /// marked/claimed/removed; its key is never compared. Always
+    /// `Box`-allocated (it frees with the queue, never through a retire).
     head: Box<PqNode>,
+    /// Where tower nodes come from (global heap by default, or a pool).
+    alloc: NodeAlloc,
+    /// The matching stateless deallocator, passed to every retire.
+    drop_node: DropFn,
     _scheme: PhantomData<fn(&S)>,
 }
 
@@ -144,10 +146,17 @@ fn random_top_level() -> usize {
 }
 
 impl<S: Smr> PriorityQueue<S> {
-    /// An empty queue.
+    /// An empty queue allocating nodes from the global heap.
     pub fn new() -> Self {
+        Self::with_alloc(NodeAlloc::Global)
+    }
+
+    /// An empty queue allocating tower nodes through `alloc`.
+    pub fn with_alloc(alloc: NodeAlloc) -> Self {
         Self {
-            head: PqNode::new(0, PQ_MAX_HEIGHT - 1),
+            head: Box::new(PqNode::new(0, PQ_MAX_HEIGHT - 1)),
+            drop_node: alloc.drop_fn::<PqNode>(),
+            alloc,
             _scheme: PhantomData,
         }
     }
@@ -302,7 +311,7 @@ impl<S: Smr> PriorityQueue<S> {
                 Self::unlock_preds(&preds, locked);
                 continue 'retry;
             }
-            let node = Box::into_raw(PqNode::new(key, top));
+            let node = self.alloc.alloc(PqNode::new(key, top));
             // SAFETY: node is private until linked below.
             let node_ref = unsafe { &*node };
             for (level, &succ) in succs.iter().enumerate().take(top + 1) {
@@ -459,7 +468,7 @@ impl<S: Smr> PriorityQueue<S> {
                 g.retire(
                     victim as usize,
                     core::mem::size_of::<PqNode>(),
-                    drop_pq_node,
+                    self.drop_node,
                 )
             };
             return;
@@ -499,9 +508,12 @@ impl<S: Smr> Drop for PriorityQueue<S> {
         // exactly once; the sentinel frees with the Box.
         let mut cur = self.head.next[0].load(Ordering::Relaxed);
         while !cur.is_null() {
-            // SAFETY: &mut self.
-            let node = unsafe { Box::from_raw(cur.cast::<PqNode>()) };
-            cur = node.next[0].load(Ordering::Relaxed);
+            // SAFETY: &mut self; next read before the node is freed.
+            unsafe {
+                let next = (*cur.cast::<PqNode>()).next[0].load(Ordering::Relaxed);
+                (self.drop_node)(cur);
+                cur = next;
+            }
         }
     }
 }

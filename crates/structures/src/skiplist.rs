@@ -26,8 +26,9 @@ use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::cell::Cell;
 use std::marker::PhantomData;
 
-use ts_smr::{Guard, Smr, SmrHandle};
+use ts_smr::{DropFn, Guard, Smr, SmrHandle};
 
+use crate::node_alloc::NodeAlloc;
 use crate::set_trait::ConcurrentSet;
 
 /// Maximum tower height. 2^12 = 4096× fan-out covers the paper's 128,000
@@ -51,15 +52,15 @@ struct SkipNode {
 }
 
 impl SkipNode {
-    fn new(key: u64, top_level: usize) -> Box<Self> {
-        Box::new(Self {
+    fn new(key: u64, top_level: usize) -> Self {
+        Self {
             next: [(); MAX_HEIGHT].map(|_| AtomicPtr::new(std::ptr::null_mut())),
             key,
             top_level,
             lock: AtomicBool::new(false),
             marked: AtomicBool::new(false),
             fully_linked: AtomicBool::new(false),
-        })
+        }
     }
 
     /// Spinlock acquire (per-node fine-grained lock, as in the paper's
@@ -79,16 +80,16 @@ impl SkipNode {
     }
 }
 
-/// Type-erased destructor used when retiring skip nodes.
-unsafe fn drop_skip_node(p: *mut u8) {
-    drop(Box::from_raw(p.cast::<SkipNode>()));
-}
-
 /// The lock-based skip list.
 pub struct SkipList<S: Smr> {
     /// Sentinel head node; its key is conceptually −∞ and never compared.
-    /// It locks like any node and is never marked or removed.
+    /// It locks like any node and is never marked or removed. Always
+    /// `Box`-allocated (it frees with the list, never through a retire).
     head: Box<SkipNode>,
+    /// Where tower nodes come from (global heap by default, or a pool).
+    alloc: NodeAlloc,
+    /// The matching stateless deallocator, passed to every retire.
+    drop_node: DropFn,
     _scheme: PhantomData<fn(&S)>,
 }
 
@@ -117,10 +118,17 @@ fn random_top_level() -> usize {
 }
 
 impl<S: Smr> SkipList<S> {
-    /// An empty skip list.
+    /// An empty skip list allocating nodes from the global heap.
     pub fn new() -> Self {
+        Self::with_alloc(NodeAlloc::Global)
+    }
+
+    /// An empty skip list allocating tower nodes through `alloc`.
+    pub fn with_alloc(alloc: NodeAlloc) -> Self {
         Self {
-            head: SkipNode::new(0, MAX_HEIGHT - 1),
+            head: Box::new(SkipNode::new(0, MAX_HEIGHT - 1)),
+            drop_node: alloc.drop_fn::<SkipNode>(),
+            alloc,
             _scheme: PhantomData,
         }
     }
@@ -350,7 +358,7 @@ impl<S: Smr> ConcurrentSet<S> for SkipList<S> {
                 Self::unlock_preds(&preds, locked);
                 continue 'retry;
             }
-            let node = Box::into_raw(SkipNode::new(key, top));
+            let node = self.alloc.alloc(SkipNode::new(key, top));
             // SAFETY: node is private until linked below.
             let node_ref = unsafe { &*node };
             for (level, &succ) in succs.iter().enumerate().take(top + 1) {
@@ -424,7 +432,7 @@ impl<S: Smr> ConcurrentSet<S> for SkipList<S> {
                 g.retire(
                     victim as usize,
                     core::mem::size_of::<SkipNode>(),
-                    drop_skip_node,
+                    self.drop_node,
                 )
             };
             break 'retry true;
@@ -463,9 +471,13 @@ impl<S: Smr> Drop for SkipList<S> {
         // node exactly once); the sentinel frees with the Box.
         let mut cur = self.head.next[0].load(Ordering::Relaxed);
         while !cur.is_null() {
-            // SAFETY: &mut self; bottom level links every node once.
-            let node = unsafe { Box::from_raw(cur.cast::<SkipNode>()) };
-            cur = node.next[0].load(Ordering::Relaxed);
+            // SAFETY: &mut self; bottom level links every node once (next
+            // read before the node is freed).
+            unsafe {
+                let next = (*cur.cast::<SkipNode>()).next[0].load(Ordering::Relaxed);
+                (self.drop_node)(cur);
+                cur = next;
+            }
         }
     }
 }

@@ -37,4 +37,4 @@ pub use mix::{prefill_keys, Op, OpMix};
 pub use params::{SchemeKind, StructureKind, StructureMix, WorkloadParams};
 pub use pq::{run_pq_combo, PqParams};
 pub use report::Report;
-pub use runner::{run_combo, AllocExtras, RunResult, StructureOps, ThreadScanExtras};
+pub use runner::{run_combo, AllocExtras, ClassDelta, RunResult, StructureOps, ThreadScanExtras};

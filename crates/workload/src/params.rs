@@ -217,6 +217,20 @@ pub struct WorkloadParams {
     /// collector's `min(shards, parallelism)` default; `1` forces the
     /// sequential, pool-free sort).
     pub ts_sort_threads: usize,
+    /// Route structure nodes through a per-structure size-class node pool
+    /// ([`ts_alloc::PoolHandle`]) instead of `Box` on the global
+    /// allocator. Off by default (the registry passes
+    /// `NodeAlloc::Global`, today's exact behavior).
+    pub node_pool: bool,
+    /// ThreadScan runs only: use the adaptive collect policy
+    /// ([`threadscan::CollectPolicy::Adaptive`]) instead of the paper's
+    /// fixed full-buffer trigger. When combined with [`Self::node_pool`]
+    /// the collector also watches the pools' bytes-resident gauge.
+    pub ts_adaptive_collect: bool,
+    /// Adaptive runs only: pending retired-node watermark handed to
+    /// [`threadscan::CollectorConfig::with_pending_high_watermark`]
+    /// (`0` keeps the collector's auto-sizing).
+    pub ts_pending_watermark: usize,
     /// Slow-epoch injected delay.
     pub slow_epoch_delay: Duration,
     /// Slow-epoch delay cadence in operations.
@@ -285,6 +299,9 @@ impl WorkloadParams {
             ts_exact_match: false,
             ts_shards: 0,
             ts_sort_threads: 0,
+            node_pool: false,
+            ts_adaptive_collect: false,
+            ts_pending_watermark: 0,
             slow_epoch_delay: Duration::from_millis(40),
             slow_epoch_period_ops: 4096,
             structure_mix: None,
@@ -331,6 +348,25 @@ impl WorkloadParams {
         self
     }
 
+    /// Builder: per-structure node pools on/off (node-pool ablation).
+    pub fn with_node_pool(mut self, on: bool) -> Self {
+        self.node_pool = on;
+        self
+    }
+
+    /// Builder: ThreadScan adaptive collect policy on/off.
+    pub fn with_ts_adaptive_collect(mut self, on: bool) -> Self {
+        self.ts_adaptive_collect = on;
+        self
+    }
+
+    /// Builder: ThreadScan adaptive pending watermark (`0` = collector
+    /// auto-sizing).
+    pub fn with_ts_pending_watermark(mut self, watermark: usize) -> Self {
+        self.ts_pending_watermark = watermark;
+        self
+    }
+
     /// Builder: shrink the workload by `factor` (both size and range), for
     /// smoke tests and CI.
     pub fn scaled_down(mut self, factor: usize) -> Self {
@@ -361,6 +397,9 @@ impl WorkloadParams {
         cell.ts_exact_match = self.ts_exact_match;
         cell.ts_shards = self.ts_shards;
         cell.ts_sort_threads = self.ts_sort_threads;
+        cell.node_pool = self.node_pool;
+        cell.ts_adaptive_collect = self.ts_adaptive_collect;
+        cell.ts_pending_watermark = self.ts_pending_watermark;
         cell.slow_epoch_delay = self.slow_epoch_delay;
         cell.slow_epoch_period_ops = self.slow_epoch_period_ops;
         cell
@@ -442,6 +481,9 @@ mod tests {
             .scaled_down(64)
             .with_update_pct(40)
             .with_ts_buffer(4096)
+            .with_node_pool(true)
+            .with_ts_adaptive_collect(true)
+            .with_ts_pending_watermark(512)
             .with_structure_mix(StructureMix::parse("hash:50,skiplist:30,pq:20").unwrap());
         p.duration = Duration::from_millis(250);
         let skip = p.hetero_cell(StructureKind::Skip);
@@ -451,6 +493,9 @@ mod tests {
         assert_eq!(skip.update_pct, 40);
         assert_eq!(skip.ts_buffer_capacity, 4096);
         assert_eq!(skip.duration, Duration::from_millis(250));
+        assert!(skip.node_pool, "pool toggle must carry into hetero cells");
+        assert!(skip.ts_adaptive_collect);
+        assert_eq!(skip.ts_pending_watermark, 512);
         let pq = p.hetero_cell(StructureKind::Pq);
         assert_eq!(pq.initial_size, 10_000 / 64);
     }

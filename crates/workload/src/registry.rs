@@ -16,11 +16,17 @@ use ts_sigscan::SignalPlatform;
 use ts_smr::dynamic::{DynSmr, ErasedSmr};
 use ts_smr::{EpochScheme, HazardPointers, Leaky, Smr, StackTrackSim, ThreadScanSmr};
 use ts_structures::{
-    ConcurrentSet, DynSet, HarrisList, LazyList, LockFreeHashTable, PqAsSet, SkipList,
+    ConcurrentSet, DynSet, HarrisList, LazyList, LockFreeHashTable, NodeAlloc, PqAsSet, SkipList,
     SplitOrderedSet, PQ_REQUIRED_SLOTS, REQUIRED_SLOTS,
 };
 
 use crate::params::{SchemeKind, StructureKind, WorkloadParams};
+
+/// Pool bytes-resident level at which the adaptive policy initiates a
+/// collect in pooled runs. Sized well above any Figure 3 working set so
+/// the pending watermark is the usual trigger; the pressure leg is a
+/// backstop against unbounded garbage in oversubscribed cells.
+const POOL_PRESSURE_HIGH_BYTES: usize = 256 << 20;
 
 /// Hazard-pointer slots the harness provisions: enough for every
 /// registered structure (the skip list and the priority queue need the
@@ -85,6 +91,21 @@ impl SchemeKind {
                 if params.ts_sort_threads > 0 {
                     config = config.with_sort_threads(params.ts_sort_threads);
                 }
+                if params.ts_adaptive_collect {
+                    config = config.with_collect_policy(threadscan::CollectPolicy::Adaptive);
+                    if params.ts_pending_watermark > 0 {
+                        config = config.with_pending_high_watermark(params.ts_pending_watermark);
+                    }
+                    if params.node_pool {
+                        // Pooled nodes make heap pressure observable:
+                        // let the controller watch the global
+                        // bytes-resident gauge too.
+                        config = config.with_pressure_source(
+                            threadscan::PressureSource::new(ts_alloc::pool_bytes_resident),
+                            POOL_PRESSURE_HIGH_BYTES,
+                        );
+                    }
+                }
                 Arc::new(ThreadScanSmr::with_config(platform, config))
             }
         }
@@ -92,8 +113,21 @@ impl SchemeKind {
 }
 
 impl StructureKind {
+    /// The node allocator for one instance of this structure:
+    /// [`NodeAlloc::Global`] (today's `Box` path, zero-cost) unless
+    /// `params.node_pool` asks for a fresh per-structure
+    /// [`ts_alloc::PoolHandle`] whose counters the ablations read back.
+    pub fn node_alloc(self, params: &WorkloadParams) -> NodeAlloc {
+        if params.node_pool {
+            NodeAlloc::Pool(ts_alloc::PoolHandle::new(self.label()))
+        } else {
+            NodeAlloc::Global
+        }
+    }
+
     /// Builds this structure for scheme `S`, type-erased behind the
-    /// [`ConcurrentSet`] trait and sized from `params`.
+    /// [`ConcurrentSet`] trait, sized from `params` and allocating
+    /// through [`Self::node_alloc`].
     ///
     /// This is the structure registry: one arm per variant. The runner
     /// instantiates it at `S =` [`ErasedSmr`]
@@ -101,20 +135,23 @@ impl StructureKind {
     /// library users and the equivalence tests can instantiate it with a
     /// concrete scheme for the zero-virtual-call fast path.
     pub fn build_set<S: Smr>(self, params: &WorkloadParams) -> Arc<dyn ConcurrentSet<S>> {
+        let alloc = self.node_alloc(params);
         match self {
-            StructureKind::List => Arc::new(HarrisList::<S>::new()),
-            StructureKind::Hash => Arc::new(LockFreeHashTable::<S>::for_expected_nodes(
+            StructureKind::List => Arc::new(HarrisList::<S>::with_alloc(alloc)),
+            StructureKind::Hash => Arc::new(LockFreeHashTable::<S>::for_expected_nodes_with_alloc(
                 params.initial_size,
+                alloc,
             )),
-            StructureKind::Skip => Arc::new(SkipList::<S>::new()),
-            StructureKind::Lazy => Arc::new(LazyList::<S>::new()),
+            StructureKind::Skip => Arc::new(SkipList::<S>::with_alloc(alloc)),
+            StructureKind::Lazy => Arc::new(LazyList::<S>::with_alloc(alloc)),
             // Start at a quarter of the resident size: the table splits its
             // way to a sensible load factor during prefill, which is the
             // behaviour this structure exists to exercise.
-            StructureKind::SplitOrdered => Arc::new(SplitOrderedSet::<S>::with_buckets(
+            StructureKind::SplitOrdered => Arc::new(SplitOrderedSet::<S>::with_buckets_and_alloc(
                 (params.initial_size / 4).max(2),
+                alloc,
             )),
-            StructureKind::Pq => Arc::new(PqAsSet::<S>::new()),
+            StructureKind::Pq => Arc::new(PqAsSet::<S>::with_alloc(alloc)),
         }
     }
 
@@ -126,17 +163,24 @@ impl StructureKind {
     /// (rather than delegating) because `Arc<dyn ConcurrentSet<_>>`
     /// cannot be unsized again to `Arc<dyn DynSet>`.
     pub fn build_dyn(self, params: &WorkloadParams) -> Arc<dyn DynSet> {
+        let alloc = self.node_alloc(params);
         match self {
-            StructureKind::List => Arc::new(HarrisList::<ErasedSmr>::new()),
-            StructureKind::Hash => Arc::new(LockFreeHashTable::<ErasedSmr>::for_expected_nodes(
-                params.initial_size,
-            )),
-            StructureKind::Skip => Arc::new(SkipList::<ErasedSmr>::new()),
-            StructureKind::Lazy => Arc::new(LazyList::<ErasedSmr>::new()),
-            StructureKind::SplitOrdered => Arc::new(SplitOrderedSet::<ErasedSmr>::with_buckets(
-                (params.initial_size / 4).max(2),
-            )),
-            StructureKind::Pq => Arc::new(PqAsSet::<ErasedSmr>::new()),
+            StructureKind::List => Arc::new(HarrisList::<ErasedSmr>::with_alloc(alloc)),
+            StructureKind::Hash => Arc::new(
+                LockFreeHashTable::<ErasedSmr>::for_expected_nodes_with_alloc(
+                    params.initial_size,
+                    alloc,
+                ),
+            ),
+            StructureKind::Skip => Arc::new(SkipList::<ErasedSmr>::with_alloc(alloc)),
+            StructureKind::Lazy => Arc::new(LazyList::<ErasedSmr>::with_alloc(alloc)),
+            StructureKind::SplitOrdered => {
+                Arc::new(SplitOrderedSet::<ErasedSmr>::with_buckets_and_alloc(
+                    (params.initial_size / 4).max(2),
+                    alloc,
+                ))
+            }
+            StructureKind::Pq => Arc::new(PqAsSet::<ErasedSmr>::with_alloc(alloc)),
         }
     }
 }
@@ -202,6 +246,57 @@ mod tests {
             StructureKind::Pq.build_dyn(&params).kind(),
             "priority-queue"
         );
+    }
+
+    #[test]
+    fn pooled_builds_route_nodes_through_per_structure_pools() {
+        let params = WorkloadParams::fig3(StructureKind::List, 2)
+            .scaled_down(64)
+            .with_node_pool(true);
+        let scheme = SchemeKind::Epoch.build(&params);
+        let erased = ErasedSmr::new(scheme);
+        let handle = erased.register();
+        for kind in StructureKind::EXTENDED {
+            let before: usize = ts_alloc::pool_stats().iter().map(|s| s.allocs).sum();
+            let set = kind.build_set::<ErasedSmr>(&params);
+            assert!(set.insert(&handle, 7), "{kind:?}");
+            let after: usize = ts_alloc::pool_stats().iter().map(|s| s.allocs).sum();
+            assert!(after > before, "{kind:?}: insert must allocate from a pool");
+        }
+    }
+
+    #[test]
+    fn adaptive_params_reach_the_collector_config() {
+        let params = WorkloadParams::fig3(StructureKind::List, 2)
+            .scaled_down(64)
+            .with_node_pool(true)
+            .with_ts_adaptive_collect(true)
+            .with_ts_pending_watermark(128);
+        let scheme = SchemeKind::ThreadScan.build(&params);
+        let ts = scheme
+            .as_any()
+            .downcast_ref::<ThreadScanSmr<ts_sigscan::SignalPlatform>>()
+            .expect("threadscan scheme");
+        let cfg = ts.collector().config();
+        assert_eq!(cfg.collect_policy, threadscan::CollectPolicy::Adaptive);
+        assert_eq!(cfg.pending_high_watermark, 128);
+        assert!(
+            cfg.pressure_source.is_some(),
+            "pooled adaptive runs watch the bytes-resident gauge"
+        );
+
+        // Default params must keep the paper's fixed trigger, bit for bit.
+        let fixed = SchemeKind::ThreadScan
+            .build(&WorkloadParams::fig3(StructureKind::List, 2).scaled_down(64));
+        let fixed = fixed
+            .as_any()
+            .downcast_ref::<ThreadScanSmr<ts_sigscan::SignalPlatform>>()
+            .unwrap();
+        assert_eq!(
+            fixed.collector().config().collect_policy,
+            threadscan::CollectPolicy::Fixed
+        );
+        assert!(fixed.collector().config().pressure_source.is_none());
     }
 
     #[test]

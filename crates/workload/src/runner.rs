@@ -29,6 +29,9 @@ use crate::params::{SchemeKind, WorkloadParams};
 pub struct ThreadScanExtras {
     /// Reclamation phases during the run.
     pub collects: usize,
+    /// Phases triggered by the adaptive policy's watermark rather than a
+    /// full local buffer (always zero under `CollectPolicy::Fixed`).
+    pub adaptive_collects: usize,
     /// Words scanned across all signal handlers.
     pub words_scanned: usize,
     /// Nodes freed.
@@ -66,6 +69,33 @@ pub struct ThreadScanExtras {
     pub shard_sizes: Vec<usize>,
 }
 
+/// One size class's allocator traffic during a run: only classes that
+/// actually moved are reported, so idle runs stay an empty list (and the
+/// whole `alloc` block stays `null`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassDelta {
+    /// Size-class index (see `ts_alloc::class_size`).
+    pub class: usize,
+    /// The class's block size in bytes.
+    pub size: usize,
+    /// Allocations served from this class during the run.
+    pub allocs: usize,
+    /// Blocks of this class freed during the run.
+    pub frees: usize,
+}
+
+impl ClassDelta {
+    /// Renders as one JSON object (see [`crate::json`]).
+    pub fn to_json(&self) -> String {
+        crate::json::ObjectBuilder::new()
+            .num("class", self.class as f64)
+            .num("size", self.size as f64)
+            .num("allocs", self.allocs as f64)
+            .num("frees", self.frees as f64)
+            .build()
+    }
+}
+
 /// Allocator-counter deltas over one run (the `ts-alloc-nodes` feature;
 /// meaningful only in binaries that install `ts_alloc` as the global
 /// allocator, e.g. `ablation_allocator --real-alloc`).
@@ -87,6 +117,9 @@ pub struct AllocExtras {
     pub cache_fills: usize,
     /// Thread-cache flushes to the central depot.
     pub cache_flushes: usize,
+    /// Per-size-class alloc/free deltas, ascending by class; classes with
+    /// no traffic are omitted.
+    pub classes: Vec<ClassDelta>,
 }
 
 impl AllocExtras {
@@ -103,6 +136,14 @@ impl AllocExtras {
 
     /// Renders as one JSON object (see [`crate::json`]).
     pub fn to_json(&self) -> String {
+        let classes = format!(
+            "[{}]",
+            self.classes
+                .iter()
+                .map(ClassDelta::to_json)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         crate::json::ObjectBuilder::new()
             .num("small_allocs", self.small_allocs as f64)
             .num("small_frees", self.small_frees as f64)
@@ -113,6 +154,7 @@ impl AllocExtras {
             .num("cache_fills", self.cache_fills as f64)
             .num("cache_flushes", self.cache_flushes as f64)
             .num("allocs_per_lock", self.allocs_per_lock())
+            .raw("classes", &classes)
             .build()
     }
 }
@@ -182,6 +224,7 @@ impl ThreadScanExtras {
     pub fn to_json(&self) -> String {
         crate::json::ObjectBuilder::new()
             .num("collects", self.collects as f64)
+            .num("adaptive_collects", self.adaptive_collects as f64)
             .num("words_scanned", self.words_scanned as f64)
             .num("freed", self.freed as f64)
             .num("survivors", self.survivors as f64)
@@ -342,6 +385,7 @@ pub(crate) fn threadscan_extras(scheme: &dyn DynSmr) -> Option<ThreadScanExtras>
     let shard_sizes = ts.collector().last_shard_sizes();
     Some(ThreadScanExtras {
         collects: st.collects,
+        adaptive_collects: st.adaptive_collects,
         words_scanned: st.words_scanned,
         freed: st.freed,
         survivors: st.survivors,
@@ -386,6 +430,20 @@ impl AllocBracket {
     pub(crate) fn close(self) -> Option<AllocExtras> {
         let b = self.0;
         let a = ts_alloc::stats();
+        // Only classes with traffic, so an idle run's delta still equals
+        // `default()` and the block stays `null`.
+        let classes = (0..ts_alloc::NUM_CLASSES)
+            .filter_map(|c| {
+                let allocs = a.class_allocs[c] - b.class_allocs[c];
+                let frees = a.class_frees[c] - b.class_frees[c];
+                (allocs != 0 || frees != 0).then(|| ClassDelta {
+                    class: c,
+                    size: ts_alloc::class_size(c),
+                    allocs,
+                    frees,
+                })
+            })
+            .collect();
         let delta = AllocExtras {
             small_allocs: a.small_allocs - b.small_allocs,
             small_frees: a.small_frees - b.small_frees,
@@ -395,6 +453,7 @@ impl AllocBracket {
             span_bytes: a.span_bytes - b.span_bytes,
             cache_fills: a.cache_fills - b.cache_fills,
             cache_flushes: a.cache_flushes - b.cache_flushes,
+            classes,
         };
         (delta != AllocExtras::default()).then_some(delta)
     }
