@@ -115,10 +115,5 @@ fn main() {
         println!("#   (all zero: system allocator active; pass --real-alloc)");
     }
 
-    if let Some(path) = args.get("json") {
-        report
-            .write_json(std::path::Path::new(path))
-            .expect("write json");
-        println!("# json written to {path}");
-    }
+    args.write_json_report(&report);
 }

@@ -64,10 +64,5 @@ fn main() {
     }
     println!("# exact matching may retain fewer survivors (no interior-pointer hits)");
 
-    if let Some(path) = args.get("json") {
-        report
-            .write_json(std::path::Path::new(path))
-            .expect("write json");
-        println!("# json written to {path}");
-    }
+    args.write_json_report(&report);
 }

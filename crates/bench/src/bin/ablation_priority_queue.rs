@@ -49,10 +49,5 @@ fn main() {
     }
     println!("# columns are Mops/s");
 
-    if let Some(path) = args.get("json") {
-        report
-            .write_json(std::path::Path::new(path))
-            .expect("write json");
-        println!("# json written to {path}");
-    }
+    args.write_json_report(&report);
 }

@@ -63,10 +63,5 @@ fn main() {
     }
     println!("# shards=1 is the paper's single sorted delete buffer");
 
-    if let Some(path) = args.get("json") {
-        report
-            .write_json(std::path::Path::new(path))
-            .expect("write json");
-        println!("# json written to {path}");
-    }
+    args.write_json_report(&report);
 }

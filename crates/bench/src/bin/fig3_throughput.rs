@@ -27,18 +27,7 @@ fn main() {
     let repeats = args.get_usize("repeats", if quick { 1 } else { 3 });
     let scale = args.get_usize("scale", if quick { 64 } else { 1 });
     let threads = args.get_usize_list("threads", &if quick { vec![1, 2] } else { thread_ladder() });
-    let structures: Vec<StructureKind> = match args.get("structures") {
-        Some(list) => list
-            .split(',')
-            .map(|s| match s.trim() {
-                "list" => StructureKind::List,
-                "hash" => StructureKind::Hash,
-                "skiplist" | "skip" => StructureKind::Skip,
-                other => panic!("unknown structure {other:?}"),
-            })
-            .collect(),
-        None => StructureKind::ALL.to_vec(),
-    };
+    let structures = args.get_structures("structures", &StructureKind::ALL);
 
     println!("# Figure 3: throughput vs threads ({})", machine_info());
     println!("# duration={duration:?} repeats={repeats} scale=1/{scale} threads={threads:?}");
@@ -73,10 +62,5 @@ fn main() {
     }
 
     println!("{}", report.render_series());
-    if let Some(path) = args.get("json") {
-        report
-            .write_json(std::path::Path::new(path))
-            .expect("write json");
-        println!("# json written to {path}");
-    }
+    args.write_json_report(&report);
 }

@@ -21,7 +21,7 @@
 
 use std::time::Duration;
 
-use threadscan::stats::{StatsSnapshot, HIST_BUCKETS};
+use threadscan::Hist;
 use ts_bench::cli::{machine_info, oversub_ladder, CliArgs};
 use ts_workload::{run_combo, Report, SchemeKind, StructureKind, WorkloadParams};
 
@@ -70,12 +70,7 @@ fn main() {
     }
 
     println!("{}", report.render_series());
-    if let Some(path) = args.get("json") {
-        report
-            .write_json(std::path::Path::new(path))
-            .expect("write json");
-        println!("# json written to {path}");
-    }
+    args.write_json_report(&report);
 }
 
 fn run_cell(
@@ -86,15 +81,13 @@ fn run_cell(
     rename: Option<&str>,
 ) {
     let mut acc = 0.0f64;
-    let mut hist = [0usize; HIST_BUCKETS];
+    let mut hist = Hist::new();
     let mut last = None;
     for _ in 0..repeats {
         let r = run_combo(scheme, params);
         acc += r.ops_per_sec;
         if let Some(ts) = &r.threadscan {
-            for (h, &c) in hist.iter_mut().zip(ts.collect_ns_hist.iter()) {
-                *h += c;
-            }
+            hist.add_counts(&ts.collect_ns_hist);
         }
         last = Some(r);
     }
@@ -106,15 +99,11 @@ fn run_cell(
         // reported tail. `collects` is summed alongside so it stays
         // equal to the histogram's total; the remaining extras
         // (means, maxima, shard layout) still describe the last repeat.
-        let merged = StatsSnapshot {
-            collect_ns_hist: hist,
-            ..Default::default()
-        };
-        ts.collect_us_p50 = merged.collect_us_percentile(0.50);
-        ts.collect_us_p95 = merged.collect_us_percentile(0.95);
-        ts.collect_us_p99 = merged.collect_us_percentile(0.99);
-        ts.collect_ns_hist = hist.to_vec();
-        ts.collects = hist.iter().sum();
+        ts.collect_us_p50 = hist.percentile_ns(0.50) / 1e3;
+        ts.collect_us_p95 = hist.percentile_ns(0.95) / 1e3;
+        ts.collect_us_p99 = hist.percentile_ns(0.99) / 1e3;
+        ts.collect_ns_hist = hist.counts().iter().map(|&c| c as usize).collect();
+        ts.collects = hist.count() as usize;
     }
     if let Some(name) = rename {
         r.scheme = name.to_string();

@@ -42,18 +42,7 @@ fn main() {
         .split(';')
         .map(|spec| StructureMix::parse(spec).unwrap_or_else(|e| panic!("--mixes: {e}")))
         .collect();
-    let schemes: Vec<SchemeKind> = match args.get("schemes") {
-        Some(list) => list
-            .split(',')
-            .map(|s| {
-                SchemeKind::EXTENDED
-                    .into_iter()
-                    .find(|k| k.label() == s.trim())
-                    .unwrap_or_else(|| panic!("unknown scheme {s:?}"))
-            })
-            .collect(),
-        None => SchemeKind::EXTENDED.to_vec(),
-    };
+    let schemes = args.get_schemes("schemes", &SchemeKind::EXTENDED);
 
     println!(
         "# Heterogeneous mixes: one collector, many structures ({})",
@@ -93,10 +82,5 @@ fn main() {
     }
 
     println!("{}", report.render_series());
-    if let Some(path) = args.get("json") {
-        report
-            .write_json(std::path::Path::new(path))
-            .expect("write json");
-        println!("# json written to {path}");
-    }
+    args.write_json_report(&report);
 }

@@ -1,7 +1,10 @@
 //! Tiny `--key value` argument parsing shared by the figure binaries
-//! (keeps the workspace free of CLI dependencies).
+//! (keeps the workspace free of CLI dependencies), plus the epilogue
+//! and list-parsing helpers every binary used to copy-paste.
 
 use std::collections::HashMap;
+
+use ts_workload::{Report, SchemeKind, StructureKind};
 
 /// Parsed `--key value` arguments.
 pub struct CliArgs {
@@ -72,6 +75,64 @@ impl CliArgs {
                 })
                 .collect(),
             None => default.to_vec(),
+        }
+    }
+
+    /// Comma-separated f64 list with a default (QPS ladders).
+    pub fn get_f64_list(&self, key: &str, default: &[f64]) -> Vec<f64> {
+        match self.get(key) {
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--{key} expects numbers, got {s:?}"))
+                })
+                .collect(),
+            None => default.to_vec(),
+        }
+    }
+
+    /// Comma-separated scheme labels (see
+    /// [`SchemeKind::label`]) with a default, e.g.
+    /// `--schemes leaky,threadscan`.
+    pub fn get_schemes(&self, key: &str, default: &[SchemeKind]) -> Vec<SchemeKind> {
+        match self.get(key) {
+            Some(list) => list
+                .split(',')
+                .map(|s| {
+                    SchemeKind::parse(s.trim())
+                        .unwrap_or_else(|| panic!("--{key}: unknown scheme {s:?}"))
+                })
+                .collect(),
+            None => default.to_vec(),
+        }
+    }
+
+    /// Comma-separated structure labels (see
+    /// [`StructureKind::label`]) with a default, e.g.
+    /// `--structures list,hash,skiplist`.
+    pub fn get_structures(&self, key: &str, default: &[StructureKind]) -> Vec<StructureKind> {
+        match self.get(key) {
+            Some(list) => list
+                .split(',')
+                .map(|s| {
+                    StructureKind::parse(s.trim())
+                        .unwrap_or_else(|| panic!("--{key}: unknown structure {s:?}"))
+                })
+                .collect(),
+            None => default.to_vec(),
+        }
+    }
+
+    /// The `--json <path>` epilogue every figure binary shares: writes
+    /// the report's JSON lines if the flag was given.
+    pub fn write_json_report(&self, report: &Report) {
+        if let Some(path) = self.get("json") {
+            report
+                .write_json(std::path::Path::new(path))
+                .expect("write json");
+            println!("# json written to {path}");
         }
     }
 }

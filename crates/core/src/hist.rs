@@ -1,0 +1,207 @@
+//! Shared log2 latency histogram.
+//!
+//! One histogram shape serves every latency surface in the workspace:
+//! the collector's per-phase reclaim latency ([`crate::stats`]) and the
+//! workload harness's per-operation service latency both bucket
+//! nanosecond durations by `floor(log2(ns))`. Keeping the bucket math,
+//! merge, and percentile walk here means a histogram recorded anywhere
+//! (a worker thread, a collector, a bench repeat) can be merged with any
+//! other and summarized with identical semantics.
+//!
+//! Buckets are coarse on purpose: recording is one array increment, so
+//! it is cheap enough for per-operation hot paths, and a percentile read
+//! is an upper bound within a factor of two — adequate for the
+//! p50/p99/p999 tail claims the harness makes, where the interesting
+//! signals are order-of-magnitude excursions, not single nanoseconds.
+
+/// Number of log2 buckets. 32 buckets span 1 ns to ~4.3 s; anything
+/// slower saturates into the last bucket.
+pub const BUCKETS: usize = 32;
+
+/// Bucket index for a duration of `ns` nanoseconds: `floor(log2(ns))`,
+/// with 0 ns clamped into bucket 0 and the last bucket saturating.
+#[inline]
+pub fn bucket(ns: u64) -> usize {
+    (u64::BITS - 1 - ns.max(1).leading_zeros()).min(BUCKETS as u32 - 1) as usize
+}
+
+/// Upper bound of bucket `i`, in nanoseconds (`2^(i+1)`). Percentile
+/// reads report this bound: the true value lies within a factor of two
+/// below it.
+#[inline]
+pub fn bucket_bound_ns(i: usize) -> f64 {
+    2f64.powi(i as i32 + 1)
+}
+
+/// A plain (non-atomic) log2 histogram of nanosecond durations.
+///
+/// Cheap to record into from a single thread; merge per-thread instances
+/// after the fact with [`Hist::merge`] (or fold foreign count arrays in
+/// with [`Hist::add_counts`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    counts: [u64; BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+        }
+    }
+
+    /// Records one duration.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        self.counts[bucket(ns)] += 1;
+    }
+
+    /// Folds `other`'s counts into this histogram.
+    pub fn merge(&mut self, other: &Hist) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+    }
+
+    /// Folds a foreign bucket-count slice (e.g. a
+    /// [`StatsSnapshot::collect_ns_hist`](crate::stats::StatsSnapshot)
+    /// array) into this histogram. Slices longer than [`BUCKETS`] are
+    /// rejected by debug assertion; shorter ones fold into the prefix.
+    pub fn add_counts(&mut self, counts: &[usize]) {
+        debug_assert!(counts.len() <= BUCKETS, "foreign histogram too wide");
+        for (mine, &theirs) in self.counts.iter_mut().zip(counts) {
+            *mine += theirs as u64;
+        }
+    }
+
+    /// Total recorded durations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// The raw bucket counts (`[i]` counts durations in
+    /// `[2^i, 2^(i+1))` ns; the last bucket saturates).
+    pub fn counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Approximate percentile in nanoseconds: the smallest bucket upper
+    /// bound below which at least `q` (in `0.0..=1.0`) of recorded
+    /// durations fall. Zero when empty; an upper bound within a factor
+    /// of two otherwise (the last bucket's bound when it saturated).
+    pub fn percentile_ns(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return bucket_bound_ns(i);
+            }
+        }
+        // Unreachable while `rank <= total`, but stated as what it is:
+        // the last bucket's bound.
+        bucket_bound_ns(BUCKETS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_math_is_log2_with_clamps() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 0);
+        assert_eq!(bucket(2), 1);
+        assert_eq!(bucket(1023), 9);
+        assert_eq!(bucket(1024), 10);
+        assert_eq!(bucket(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_double() {
+        assert_eq!(bucket_bound_ns(0), 2.0);
+        assert_eq!(bucket_bound_ns(9), 1024.0);
+        assert_eq!(bucket_bound_ns(10), 2048.0);
+    }
+
+    #[test]
+    fn record_and_count() {
+        let mut h = Hist::new();
+        assert!(h.is_empty());
+        h.record(1);
+        h.record(1000);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert!(!h.is_empty());
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.counts()[BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        a.record(10);
+        b.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.counts()[3], 2, "both 10 ns records share bucket 3");
+    }
+
+    #[test]
+    fn add_counts_folds_foreign_arrays() {
+        let mut h = Hist::new();
+        let mut foreign = [0usize; BUCKETS];
+        foreign[5] = 7;
+        foreign[BUCKETS - 1] = 2;
+        h.add_counts(&foreign);
+        h.record(40); // bucket 5
+        assert_eq!(h.counts()[5], 8);
+        assert_eq!(h.counts()[BUCKETS - 1], 2);
+    }
+
+    #[test]
+    fn percentiles_walk_the_buckets() {
+        let mut h = Hist::new();
+        for _ in 0..90 {
+            h.record(1_000); // bucket 9, bound 1024
+        }
+        for _ in 0..10 {
+            h.record(1_000_000); // bucket 19
+        }
+        assert_eq!(h.percentile_ns(0.50), 1024.0);
+        assert_eq!(h.percentile_ns(0.95), bucket_bound_ns(19));
+        let p50 = h.percentile_ns(0.50);
+        let p99 = h.percentile_ns(0.99);
+        let p999 = h.percentile_ns(0.999);
+        assert!(p50 <= p99 && p99 <= p999, "percentiles are monotone");
+    }
+
+    #[test]
+    fn empty_percentile_is_zero_and_saturated_is_last_bound() {
+        assert_eq!(Hist::new().percentile_ns(0.99), 0.0);
+        let mut h = Hist::new();
+        h.record(u64::MAX);
+        assert_eq!(h.percentile_ns(0.5), bucket_bound_ns(BUCKETS - 1));
+        assert_eq!(h.percentile_ns(1.0), bucket_bound_ns(BUCKETS - 1));
+    }
+}

@@ -49,6 +49,7 @@ pub mod buffer;
 pub mod collector;
 pub mod config;
 pub mod errors;
+pub mod hist;
 pub mod master;
 pub mod platform;
 pub mod pool;
@@ -62,6 +63,7 @@ pub mod stats;
 pub use collector::{Collector, ThreadHandle};
 pub use config::{CollectPolicy, CollectorConfig, MatchMode, PressureSource};
 pub use errors::HeapBlockError;
+pub use hist::Hist;
 pub use platform::{NullPlatform, Platform, ScanOutcome};
 pub use pool::SortPool;
 pub use retired::{DropFn, Retired};

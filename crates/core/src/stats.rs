@@ -69,14 +69,10 @@ pub struct CollectorStats {
     last_shard_sizes: Mutex<Vec<usize>>,
 }
 
-/// Number of log2 latency-histogram buckets. 32 buckets span 1 ns to
-/// ~4.3 s; anything slower saturates into the last bucket.
-pub const HIST_BUCKETS: usize = 32;
-
-/// Histogram bucket index for a latency of `ns` nanoseconds.
-fn hist_bucket(ns: usize) -> usize {
-    (usize::BITS - 1 - ns.max(1).leading_zeros()).min(HIST_BUCKETS as u32 - 1) as usize
-}
+/// Number of log2 latency-histogram buckets (re-exported from the shared
+/// histogram module — collector and workload histograms share one shape
+/// so they can be merged; see [`crate::hist`]).
+pub const HIST_BUCKETS: usize = crate::hist::BUCKETS;
 
 /// A point-in-time copy of [`CollectorStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -129,7 +125,7 @@ impl CollectorStats {
 
     /// Records one phase's reclaimer-side latency into the histogram.
     pub(crate) fn record_collect_ns(&self, ns: usize) {
-        self.collect_ns_hist[hist_bucket(ns)].fetch_add(1, Ordering::Relaxed);
+        self.collect_ns_hist[crate::hist::bucket(ns as u64)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Per-shard entry counts of the most recent reclamation phase (empty
@@ -229,27 +225,18 @@ impl StatsSnapshot {
     /// phase has run. Coarse by design — buckets are powers of two, so
     /// the value is an upper bound within a factor of two.
     pub fn collect_us_percentile(&self, q: f64) -> f64 {
-        /// Upper bound of histogram bucket `i`, in microseconds.
-        fn bucket_bound_us(i: usize) -> f64 {
-            2f64.powi(i as i32 + 1) / 1e3
-        }
-        let total: usize = self.collect_ns_hist.iter().sum();
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as usize;
-        let mut seen = 0usize;
-        for (i, &count) in self.collect_ns_hist.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                return bucket_bound_us(i);
-            }
-        }
-        // Unreachable while `rank <= total` (the walk always accumulates
-        // to `total`), but the walk above may change shape: the right
-        // answer is the last bucket's bound — stated as such, not as a
-        // power of the bucket *count* that only happens to coincide.
-        bucket_bound_us(self.collect_ns_hist.len() - 1)
+        self.collect_hist().percentile_ns(q) / 1e3
+    }
+
+    /// The collect-latency histogram as a shared mergeable
+    /// [`Hist`](crate::hist::Hist) — fold several repeats' snapshots
+    /// together with [`Hist::merge`](crate::hist::Hist::merge) (or
+    /// [`Hist::add_counts`](crate::hist::Hist::add_counts)) before
+    /// computing percentiles.
+    pub fn collect_hist(&self) -> crate::hist::Hist {
+        let mut h = crate::hist::Hist::new();
+        h.add_counts(&self.collect_ns_hist);
+        h
     }
 }
 

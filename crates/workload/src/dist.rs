@@ -227,6 +227,63 @@ mod tests {
         }
     }
 
+    /// Boundary: theta approaching 1 (the closed form diverges *at* 1,
+    /// so 0.999/0.9999 are the extreme admissible skews). `alpha =
+    /// 1/(1-theta)` grows to ~10⁴ — the `powf` must stay finite and the
+    /// distribution must stay (extremely) head-heavy.
+    #[test]
+    fn theta_near_one_stays_finite_and_skewed() {
+        for theta in [0.999, 0.9999] {
+            let sampler = ZipfSampler::new(1000, theta);
+            let mut rng = SmallRng::seed_from_u64(13);
+            let mut head = 0usize;
+            const N: usize = 100_000;
+            for _ in 0..N {
+                let rank = sampler.sample(&mut rng);
+                assert!(rank < 1000, "theta {theta}: rank {rank} out of range");
+                if rank == 0 {
+                    head += 1;
+                }
+            }
+            // At theta→1, P(rank 0) → 1/ζ₁(1000) ≈ 1/7.5; demand at
+            // least half that so the head is provably hot, not NaN-cold.
+            assert!(
+                head > N / 15,
+                "theta {theta}: head share {head}/{N} lost its skew"
+            );
+        }
+    }
+
+    /// Boundary: n = 2 makes `eta = (1 - (2/n)^(1-θ)) / (1 - ζ(2)/ζ(n))`
+    /// a 0/0 form — both numerator and denominator vanish. The quotient
+    /// is NaN, but it must be unreachable: `ζ(2) == zetan` means the
+    /// two explicit branches in `sample` cover the whole unit interval,
+    /// so every draw resolves to rank 0 or 1 before `eta` is touched.
+    #[test]
+    fn two_element_range_never_produces_nan_ranks() {
+        for theta in [0.01, 0.5, 0.99, 0.9999] {
+            let sampler = ZipfSampler::new(2, theta);
+            let mut rng = SmallRng::seed_from_u64(17);
+            let mut counts = [0usize; 2];
+            const N: usize = 50_000;
+            for _ in 0..N {
+                let rank = sampler.sample(&mut rng);
+                assert!(rank < 2, "theta {theta}: rank {rank} out of range");
+                counts[rank as usize] += 1;
+            }
+            assert!(
+                counts[0] > counts[1],
+                "theta {theta}: rank 0 ({}) must stay hotter than rank 1 ({})",
+                counts[0],
+                counts[1]
+            );
+            assert!(
+                counts[1] > 0,
+                "theta {theta}: rank 1 must still see traffic"
+            );
+        }
+    }
+
     #[test]
     fn sampling_is_deterministic_per_seed() {
         let sampler = ZipfSampler::new(64, 0.7);

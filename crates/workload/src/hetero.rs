@@ -13,7 +13,7 @@
 //! in [`RunResult::per_structure`].
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -22,6 +22,7 @@ use ts_smr::{Smr, SmrHandle};
 use ts_structures::DynSet;
 
 use crate::dist::WeightedPick;
+use crate::load::{self, Aggregate};
 use crate::mix::{prefill_keys, Op, OpMix};
 use crate::params::{SchemeKind, WorkloadParams};
 use crate::runner::{
@@ -75,17 +76,18 @@ pub fn run_hetero_combo(scheme: SchemeKind, params: &WorkloadParams) -> RunResul
 
     let stop = AtomicBool::new(false);
     let start_barrier = Barrier::new(params.threads + 1);
-    let per_structure_ops: Vec<AtomicU64> = (0..sets.len()).map(|_| AtomicU64::new(0)).collect();
+    let reports = Mutex::new(Vec::with_capacity(params.threads));
     let elapsed_holder = AtomicU64::new(0);
 
     let weights = mix.weights();
     std::thread::scope(|s| {
         let stop = &stop;
         let start_barrier = &start_barrier;
-        let per_structure_ops = &per_structure_ops;
+        let reports = &reports;
         let sets = &sets;
         let cells = &cells;
         let weights = &weights;
+        let params_ref = &*params;
         for t in 0..params.threads {
             let erased = Arc::clone(&erased);
             s.spawn(move || {
@@ -106,29 +108,36 @@ pub fn run_hetero_combo(scheme: SchemeKind, params: &WorkloadParams) -> RunResul
                         )
                     })
                     .collect();
-                let mut local = vec![0u64; sets.len()];
                 start_barrier.wait();
-                // Per-op stop check: ops completed after the flag flips
-                // would be billed outside the measured window (see the
-                // single-structure runner's regression note).
-                while !stop.load(Ordering::Relaxed) {
-                    let i = pick.sample(&mut pick_rng);
-                    match mixes[i].next_op() {
-                        Op::Contains(k) => {
-                            sets[i].contains(&handle, k);
+                // The shared worker loop: under `Closed` a per-op stop
+                // check around the op (ops completed after the flag flips
+                // would be billed outside the window — see the runner's
+                // regression note); under an open model the op's class is
+                // the structure index, so each structure gets its own
+                // latency histogram.
+                let report = load::drive_worker(
+                    params_ref.load_spec(),
+                    t,
+                    params_ref.threads,
+                    sets.len(),
+                    stop,
+                    || {
+                        let i = pick.sample(&mut pick_rng);
+                        match mixes[i].next_op() {
+                            Op::Contains(k) => {
+                                sets[i].contains(&handle, k);
+                            }
+                            Op::Insert(k) => {
+                                sets[i].insert(&handle, k);
+                            }
+                            Op::Remove(k) => {
+                                sets[i].remove(&handle, k);
+                            }
                         }
-                        Op::Insert(k) => {
-                            sets[i].insert(&handle, k);
-                        }
-                        Op::Remove(k) => {
-                            sets[i].remove(&handle, k);
-                        }
-                    }
-                    local[i] += 1;
-                }
-                for (slot, ops) in per_structure_ops.iter().zip(local) {
-                    slot.fetch_add(ops, Ordering::Relaxed);
-                }
+                        i
+                    },
+                );
+                reports.lock().unwrap().push(report);
                 // handle drops here: the thread unregisters before exit.
             });
         }
@@ -140,21 +149,23 @@ pub fn run_hetero_combo(scheme: SchemeKind, params: &WorkloadParams) -> RunResul
         elapsed_holder.store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
     });
 
+    let agg = Aggregate::from_reports(reports.into_inner().unwrap(), sets.len());
     let secs = (elapsed_holder.load(Ordering::Relaxed) as f64 / 1e6).max(1e-9);
     let per_structure: Vec<StructureOps> = mix
         .entries()
         .iter()
-        .zip(&per_structure_ops)
-        .map(|(&(kind, _), ops)| {
-            let ops = ops.load(Ordering::Relaxed);
+        .enumerate()
+        .map(|(i, &(kind, _))| {
+            let ops = agg.class_ops[i];
             StructureOps {
                 structure: kind.label().to_string(),
                 ops,
                 ops_per_sec: ops as f64 / secs,
+                latency: agg.class_latency[i].clone(),
             }
         })
         .collect();
-    let total_ops: u64 = per_structure.iter().map(|s| s.ops).sum();
+    let total_ops: u64 = agg.total_ops;
     let bucket_count = sets.iter().find_map(|s| s.bucket_count());
 
     let ts = threadscan_extras(&*dyn_scheme); // before quiesce (see runner)
@@ -175,6 +186,8 @@ pub fn run_hetero_combo(scheme: SchemeKind, params: &WorkloadParams) -> RunResul
         alloc,
         per_structure,
         bucket_count,
+        latency: agg.latency.clone(),
+        open_loop: agg.open_extras(&params.load_model),
     }
 }
 
@@ -233,6 +246,30 @@ mod tests {
         // Retirements from *all three* structures funnel into the one
         // collector the run built.
         assert!(ts.collects > 0, "no reclamation phases ran");
+    }
+
+    #[test]
+    fn open_loop_hetero_reports_per_structure_latency() {
+        let mut p = quick_hetero(2, "hash:60,list:40");
+        p.duration = Duration::from_millis(250);
+        p = p.with_load_model(crate::load::LoadModel::OpenPoisson { qps: 20_000.0 });
+        let r = run_hetero_combo(SchemeKind::Epoch, &p);
+        assert!(r.total_ops > 0);
+        let total = r.latency.as_ref().expect("open model measures latency");
+        assert_eq!(total.count, r.total_ops);
+        let mut class_count = 0;
+        for s in &r.per_structure {
+            let lat = s
+                .latency
+                .as_ref()
+                .unwrap_or_else(|| panic!("{} saw ops but no latency", s.structure));
+            assert_eq!(lat.count, s.ops, "{}", s.structure);
+            assert!(lat.p50_ns <= lat.p999_ns, "{}", s.structure);
+            class_count += lat.count;
+        }
+        assert_eq!(class_count, total.count, "class histograms sum to total");
+        let ol = r.open_loop.as_ref().expect("open extras present");
+        assert!(ol.offered >= r.total_ops);
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! * [`dist`] — key distributions (uniform per the paper; zipfian for the
 //!   skew ablation);
 //! * [`mix`] — deterministic per-thread operation streams;
+//! * [`load`] — the load-generation layer ([`LoadModel`]): the classic
+//!   closed loop, or open-loop Poisson / bursty arrival schedules with
+//!   coordinated-omission-correct per-op latency;
 //! * [`registry`] — the scheme and structure factories
 //!   ([`SchemeKind::build`], [`StructureKind::build_set`],
 //!   [`StructureKind::build_dyn`]): one line per variant, the only
@@ -24,6 +27,7 @@
 pub mod dist;
 pub mod hetero;
 pub mod json;
+pub mod load;
 pub mod mix;
 pub mod params;
 pub mod pq;
@@ -33,6 +37,7 @@ pub mod runner;
 
 pub use dist::{KeyDist, WeightedPick, ZipfSampler};
 pub use hetero::run_hetero_combo;
+pub use load::{ArrivalSchedule, BacklogPolicy, LatencySummary, LoadModel, OpenLoopExtras};
 pub use mix::{prefill_keys, Op, OpMix};
 pub use params::{SchemeKind, StructureKind, StructureMix, WorkloadParams};
 pub use pq::{run_pq_combo, PqParams};

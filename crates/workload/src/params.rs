@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use crate::dist::KeyDist;
+use crate::load::{BacklogPolicy, LoadModel};
 
 /// Which evaluation data structure to drive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,12 +50,13 @@ impl StructureKind {
         }
     }
 
-    /// Parses a harness label back to its kind (mix-spec syntax).
+    /// Parses a harness label back to its kind (mix-spec and
+    /// `--structures` CLI syntax; `skip` is accepted for `skiplist`).
     pub fn parse(label: &str) -> Option<Self> {
         Some(match label {
             "list" => Self::List,
             "hash" => Self::Hash,
-            "skiplist" => Self::Skip,
+            "skiplist" | "skip" => Self::Skip,
             "lazy-list" => Self::Lazy,
             "split-ordered" => Self::SplitOrdered,
             "pq" => Self::Pq,
@@ -177,6 +179,19 @@ impl SchemeKind {
             Self::StackTrack => "stacktrack",
         }
     }
+
+    /// Parses a harness label back to its kind (`--schemes` CLI lists).
+    pub fn parse(label: &str) -> Option<Self> {
+        Some(match label {
+            "leaky" => Self::Leaky,
+            "hazard" => Self::Hazard,
+            "epoch" => Self::Epoch,
+            "slow-epoch" => Self::SlowEpoch,
+            "threadscan" => Self::ThreadScan,
+            "stacktrack" => Self::StackTrack,
+            _ => return None,
+        })
+    }
 }
 
 /// One experiment cell: structure × scheme × thread count × workload shape.
@@ -235,6 +250,16 @@ pub struct WorkloadParams {
     pub slow_epoch_delay: Duration,
     /// Slow-epoch delay cadence in operations.
     pub slow_epoch_period_ops: usize,
+    /// How operations arrive at the workers ([`LoadModel`]): the paper's
+    /// closed loop by default, or an open-loop arrival schedule for
+    /// coordinated-omission-correct per-op latency.
+    pub load_model: LoadModel,
+    /// Seed for the open-loop arrival schedules (each worker derives its
+    /// own stream from this; same seed ⇒ same offered-load trace).
+    pub arrival_seed: u64,
+    /// What workers do with arrivals they observe behind schedule
+    /// (open-loop models only).
+    pub backlog: BacklogPolicy,
     /// Weighted multi-structure mix for heterogeneous runs
     /// ([`crate::hetero::run_hetero_combo`]); `None` for single-structure
     /// cells.
@@ -304,6 +329,9 @@ impl WorkloadParams {
             ts_pending_watermark: 0,
             slow_epoch_delay: Duration::from_millis(40),
             slow_epoch_period_ops: 4096,
+            load_model: LoadModel::Closed,
+            arrival_seed: 0xA441_7A1E,
+            backlog: BacklogPolicy::Queue,
             structure_mix: None,
             scale: 1,
         }
@@ -377,6 +405,35 @@ impl WorkloadParams {
         self
     }
 
+    /// Builder: the load model (closed loop by default; open models turn
+    /// on per-op latency measurement).
+    pub fn with_load_model(mut self, model: LoadModel) -> Self {
+        model.validate();
+        self.load_model = model;
+        self
+    }
+
+    /// Builder: arrival-schedule seed for open-loop runs.
+    pub fn with_arrival_seed(mut self, seed: u64) -> Self {
+        self.arrival_seed = seed;
+        self
+    }
+
+    /// Builder: backlog policy for open-loop runs.
+    pub fn with_backlog(mut self, policy: BacklogPolicy) -> Self {
+        self.backlog = policy;
+        self
+    }
+
+    /// The bundled load-generation knobs for the worker loop.
+    pub(crate) fn load_spec(&self) -> crate::load::LoadSpec<'_> {
+        crate::load::LoadSpec {
+            model: &self.load_model,
+            backlog: self.backlog,
+            arrival_seed: self.arrival_seed,
+        }
+    }
+
     /// Builder: the weighted structure mix for a heterogeneous run.
     pub fn with_structure_mix(mut self, mix: StructureMix) -> Self {
         self.structure_mix = Some(mix);
@@ -402,6 +459,9 @@ impl WorkloadParams {
         cell.ts_pending_watermark = self.ts_pending_watermark;
         cell.slow_epoch_delay = self.slow_epoch_delay;
         cell.slow_epoch_period_ops = self.slow_epoch_period_ops;
+        cell.load_model = self.load_model;
+        cell.arrival_seed = self.arrival_seed;
+        cell.backlog = self.backlog;
         cell
     }
 }
@@ -439,6 +499,31 @@ mod tests {
         assert_eq!(p.initial_size, 2048);
         assert_eq!(p.key_range, 4096);
         assert_eq!(p.scale, 64);
+    }
+
+    #[test]
+    fn scheme_labels_round_trip_through_parse() {
+        for kind in SchemeKind::EXTENDED {
+            assert_eq!(SchemeKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(SchemeKind::parse("gc"), None);
+    }
+
+    #[test]
+    fn load_model_knobs_carry_into_hetero_cells() {
+        let model = LoadModel::OpenPoisson { qps: 5_000.0 };
+        let p = WorkloadParams::fig3(StructureKind::Hash, 4)
+            .with_load_model(model)
+            .with_arrival_seed(77)
+            .with_backlog(BacklogPolicy::DropAfter(Duration::from_millis(5)))
+            .with_structure_mix(StructureMix::parse("hash:1,list:1").unwrap());
+        let cell = p.hetero_cell(StructureKind::List);
+        assert_eq!(cell.load_model, model);
+        assert_eq!(cell.arrival_seed, 77);
+        assert_eq!(
+            cell.backlog,
+            BacklogPolicy::DropAfter(Duration::from_millis(5))
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! operations* feed the delete buffers.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::Duration;
 
 use rand::rngs::SmallRng;
@@ -17,8 +17,9 @@ use ts_smr::dynamic::ErasedSmr;
 use ts_smr::{Smr, SmrHandle};
 use ts_structures::PriorityQueue;
 
+use crate::load::{self, Aggregate, BacklogPolicy, LoadModel};
 use crate::params::{SchemeKind, StructureKind, WorkloadParams};
-use crate::runner::{quiesce_and_account, AllocBracket, RunResult};
+use crate::runner::{quiesce_and_account, AllocBracket, DriveOutcome, RunResult};
 
 /// Parameters for one priority-queue cell.
 #[derive(Debug, Clone)]
@@ -34,6 +35,12 @@ pub struct PqParams {
     pub threads: usize,
     /// ThreadScan per-thread delete-buffer capacity.
     pub ts_buffer_capacity: usize,
+    /// How operations arrive ([`LoadModel`]); the closed loop by default.
+    pub load_model: LoadModel,
+    /// Arrival-schedule seed for open-loop runs.
+    pub arrival_seed: u64,
+    /// Backlog policy for open-loop runs.
+    pub backlog: BacklogPolicy,
 }
 
 impl Default for PqParams {
@@ -44,6 +51,9 @@ impl Default for PqParams {
             duration: Duration::from_secs(1),
             threads: 2,
             ts_buffer_capacity: 1024,
+            load_model: LoadModel::Closed,
+            arrival_seed: 0xA441_7A1E,
+            backlog: BacklogPolicy::Queue,
         }
     }
 }
@@ -65,6 +75,28 @@ impl PqParams {
     pub fn with_prefill(mut self, n: usize) -> Self {
         self.prefill = n;
         self
+    }
+
+    /// Builder: the load model (closed loop by default).
+    pub fn with_load_model(mut self, model: LoadModel) -> Self {
+        model.validate();
+        self.load_model = model;
+        self
+    }
+
+    /// Builder: backlog policy for open-loop runs.
+    pub fn with_backlog(mut self, policy: BacklogPolicy) -> Self {
+        self.backlog = policy;
+        self
+    }
+
+    /// The bundled load-generation knobs for the worker loop.
+    pub(crate) fn load_spec(&self) -> load::LoadSpec<'_> {
+        load::LoadSpec {
+            model: &self.load_model,
+            backlog: self.backlog,
+            arrival_seed: self.arrival_seed,
+        }
     }
 
     /// The [`WorkloadParams`] equivalent of this cell, for the shared
@@ -90,7 +122,7 @@ pub fn run_pq_combo(scheme: SchemeKind, params: &PqParams) -> RunResult {
     let erased = Arc::new(ErasedSmr::new(Arc::clone(&dyn_scheme)));
 
     let alloc_bracket = AllocBracket::open();
-    let (ops, secs) = drive_pq(&erased, params);
+    let outcome = drive_pq(&erased, params);
     let (outstanding_after, leaked) = quiesce_and_account(&*dyn_scheme);
     let alloc = alloc_bracket.close();
 
@@ -98,9 +130,9 @@ pub fn run_pq_combo(scheme: SchemeKind, params: &PqParams) -> RunResult {
         scheme: scheme.label().to_string(),
         structure: "priority-queue".to_string(),
         threads: params.threads,
-        duration_s: secs,
-        total_ops: ops,
-        ops_per_sec: ops as f64 / secs.max(1e-9),
+        duration_s: outcome.secs,
+        total_ops: outcome.ops,
+        ops_per_sec: outcome.ops as f64 / outcome.secs.max(1e-9),
         outstanding_after,
         leaked,
         protection_slots: erased.register().protection_slots(),
@@ -108,11 +140,13 @@ pub fn run_pq_combo(scheme: SchemeKind, params: &PqParams) -> RunResult {
         alloc,
         per_structure: Vec::new(),
         bucket_count: None,
+        latency: outcome.latency,
+        open_loop: outcome.open_loop,
     }
 }
 
 /// The measurement loop: prefill, barrier start, timed mixed ops.
-fn drive_pq<S: Smr>(scheme: &Arc<S>, params: &PqParams) -> (u64, f64) {
+fn drive_pq<S: Smr>(scheme: &Arc<S>, params: &PqParams) -> DriveOutcome {
     let pq = Arc::new(PriorityQueue::<S>::new());
     {
         let h = scheme.register();
@@ -124,48 +158,65 @@ fn drive_pq<S: Smr>(scheme: &Arc<S>, params: &PqParams) -> (u64, f64) {
             }
         }
     }
+    let insert_pct = params.insert_pct;
+    drive_pq_loop(scheme, params, move |h, rng| {
+        if rng.gen_range(0..100u32) < insert_pct {
+            pq.insert(h, rng.gen::<u64>() >> 1);
+        } else {
+            pq.delete_min(h);
+        }
+    })
+}
 
-    let stop = Arc::new(AtomicBool::new(false));
-    let start_barrier = Arc::new(Barrier::new(params.threads + 1));
-    let total_ops = Arc::new(AtomicU64::new(0));
+/// Barrier start + timed window around the shared worker loop
+/// ([`load::drive_worker`]), with the operation injectable so tests can
+/// drive the measurement machinery with a stalling op.
+fn drive_pq_loop<S: Smr>(
+    scheme: &Arc<S>,
+    params: &PqParams,
+    op: impl Fn(&S::Handle, &mut SmallRng) + Send + Sync,
+) -> DriveOutcome {
+    let stop = AtomicBool::new(false);
+    let start_barrier = Barrier::new(params.threads + 1);
+    let reports = Mutex::new(Vec::with_capacity(params.threads));
     let elapsed_holder = AtomicU64::new(0);
-    let elapsed_holder = &elapsed_holder;
+    let (stop_ref, barrier_ref, reports_ref, elapsed_ref, op_ref) =
+        (&stop, &start_barrier, &reports, &elapsed_holder, &op);
 
     std::thread::scope(|s| {
         for t in 0..params.threads {
             let scheme = Arc::clone(scheme);
-            let pq = Arc::clone(&pq);
-            let stop = Arc::clone(&stop);
-            let start_barrier = Arc::clone(&start_barrier);
-            let total_ops = Arc::clone(&total_ops);
             let params = params.clone();
             s.spawn(move || {
                 let h = scheme.register();
                 let mut rng = SmallRng::seed_from_u64(0xBEE5 ^ (t as u64) << 1);
-                start_barrier.wait();
-                let mut ops = 0u64;
-                while !stop.load(Ordering::Relaxed) {
-                    for _ in 0..64 {
-                        if rng.gen_range(0..100u32) < params.insert_pct {
-                            pq.insert(&h, rng.gen::<u64>() >> 1);
-                        } else {
-                            pq.delete_min(&h);
-                        }
-                        ops += 1;
-                    }
-                }
-                total_ops.fetch_add(ops, Ordering::Relaxed);
+                barrier_ref.wait();
+                // The shared worker loop checks `stop` per op — the old
+                // local 64-op batch loop billed up to 63 post-window ops
+                // per thread (see the regression test below).
+                let report =
+                    load::drive_worker(params.load_spec(), t, params.threads, 1, stop_ref, || {
+                        op_ref(&h, &mut rng);
+                        0
+                    });
+                reports_ref.lock().unwrap().push(report);
             });
         }
         start_barrier.wait();
         let t0 = std::time::Instant::now();
         std::thread::sleep(params.duration);
         stop.store(true, Ordering::Relaxed);
-        elapsed_holder.store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        elapsed_ref.store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
     });
 
-    let elapsed = elapsed_holder.load(Ordering::Relaxed) as f64 / 1e6;
-    (total_ops.load(Ordering::Relaxed), elapsed)
+    let agg = Aggregate::from_reports(reports.into_inner().unwrap(), 1);
+    let open_loop = agg.open_extras(&params.load_model);
+    DriveOutcome {
+        ops: agg.total_ops,
+        secs: elapsed_holder.load(Ordering::Relaxed) as f64 / 1e6,
+        latency: agg.latency,
+        open_loop,
+    }
 }
 
 #[cfg(test)]
@@ -206,5 +257,37 @@ mod tests {
     fn leaky_leaks_every_delete_min() {
         let r = run_pq_combo(SchemeKind::Leaky, &quick());
         assert!(r.leaked.unwrap() > 0, "delete_min must leak under Leaky");
+    }
+
+    /// Regression (same accounting bug the set runner fixed earlier):
+    /// `drive_pq` used to run 64-op batches and only check `stop` between
+    /// batches, while `elapsed` is captured the moment the flag flips —
+    /// up to 63 post-window ops per thread were billed to the window.
+    /// With 5 ms ops and a 60 ms window the batch loop counts a full
+    /// 64-op (320 ms) batch per thread; the per-op check admits at most
+    /// the window's worth plus one in-flight op.
+    #[test]
+    fn pq_ops_finished_after_stop_are_not_counted() {
+        const THREADS: usize = 2;
+        const OP_MS: u64 = 5;
+        let scheme = Arc::new(ts_smr::Leaky::new());
+        let mut params = quick();
+        params.threads = THREADS;
+        params.duration = Duration::from_millis(60);
+        let outcome = drive_pq_loop(&scheme, &params, |_h, _rng| {
+            std::thread::sleep(Duration::from_millis(OP_MS));
+        });
+        let (ops, secs) = (outcome.ops, outcome.secs);
+        // Bound against the measured window (the driver's sleep can
+        // overshoot on a loaded machine); `+ 1` covers the in-flight op
+        // per thread, 2x slack absorbs scheduling jitter while staying
+        // far below the old full-batch bill.
+        let window_ops_per_thread = (secs * 1000.0 / OP_MS as f64).ceil() as u64 + 1;
+        assert!(
+            ops <= (THREADS as u64) * window_ops_per_thread * 2,
+            "{ops} pq ops counted against a {secs:.3}s window: post-stop \
+             batch work is being billed to the measurement window"
+        );
+        assert!(ops > 0, "workers must still make progress");
     }
 }

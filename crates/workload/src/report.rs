@@ -115,6 +115,8 @@ mod tests {
             alloc: None,
             per_structure: Vec::new(),
             bucket_count: None,
+            latency: None,
+            open_loop: None,
         }
     }
 

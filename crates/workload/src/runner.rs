@@ -14,13 +14,14 @@
 //! recovered by downcasting through [`DynSmr::as_any`].
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex};
 
 use ts_sigscan::SignalPlatform;
 use ts_smr::dynamic::{DynSmr, ErasedSmr};
 use ts_smr::{Leaky, Smr, SmrHandle, ThreadScanSmr};
 use ts_structures::ConcurrentSet;
 
+use crate::load::{self, Aggregate, LatencySummary, OpenLoopExtras};
 use crate::mix::{prefill_keys, Op, OpMix};
 use crate::params::{SchemeKind, WorkloadParams};
 
@@ -169,15 +170,23 @@ pub struct StructureOps {
     /// This structure's share of throughput (ops/second over the shared
     /// measurement window).
     pub ops_per_sec: f64,
+    /// This structure's per-op latency (open-loop runs only; `None`
+    /// under the closed loop or when no op completed).
+    pub latency: Option<LatencySummary>,
 }
 
 impl StructureOps {
     /// Renders as one JSON object (see [`crate::json`]).
     pub fn to_json(&self) -> String {
+        let latency = match &self.latency {
+            Some(l) => l.to_json(),
+            None => "null".to_string(),
+        };
         crate::json::ObjectBuilder::new()
             .str("structure", &self.structure)
             .num("ops", self.ops as f64)
             .num("ops_per_sec", self.ops_per_sec)
+            .raw("latency", &latency)
             .build()
     }
 }
@@ -217,6 +226,14 @@ pub struct RunResult {
     /// Final bucket count, for structures with a bucket directory (the
     /// split-ordered table); `None` otherwise.
     pub bucket_count: Option<usize>,
+    /// Per-op latency from intended arrival to completion — the
+    /// coordinated-omission-correct service latency. `None` under
+    /// [`LoadModel::Closed`](crate::load::LoadModel::Closed), which takes
+    /// no per-op clocks.
+    pub latency: Option<LatencySummary>,
+    /// Offered-vs-served accounting for open-loop runs (`None` under the
+    /// closed loop).
+    pub open_loop: Option<OpenLoopExtras>,
 }
 
 impl ThreadScanExtras {
@@ -269,6 +286,14 @@ impl RunResult {
                     .join(",")
             )
         };
+        let latency = match &self.latency {
+            Some(l) => l.to_json(),
+            None => "null".to_string(),
+        };
+        let open_loop = match &self.open_loop {
+            Some(o) => o.to_json(),
+            None => "null".to_string(),
+        };
         crate::json::ObjectBuilder::new()
             .str("scheme", &self.scheme)
             .str("structure", &self.structure)
@@ -283,6 +308,8 @@ impl RunResult {
             .opt_num("leaked", self.leaked.map(|v| v as f64))
             .opt_num("protection_slots", self.protection_slots.map(|v| v as f64))
             .opt_num("bucket_count", self.bucket_count.map(|v| v as f64))
+            .raw("latency", &latency)
+            .raw("open_loop", &open_loop)
             .raw("per_structure", &per_structure)
             .raw("threadscan", &ts)
             .raw("alloc", &alloc)
@@ -290,11 +317,32 @@ impl RunResult {
     }
 }
 
+/// What one measured window produced, before scheme-specific accounting.
+pub(crate) struct DriveOutcome {
+    /// Completed operations across all threads.
+    pub ops: u64,
+    /// Measured wall time, seconds.
+    pub secs: f64,
+    /// Per-op latency (open-loop models only).
+    pub latency: Option<LatencySummary>,
+    /// Offered-vs-served accounting (open-loop models only).
+    pub open_loop: Option<OpenLoopExtras>,
+}
+
 /// Drives `set` under `scheme` per `params`. The generic measurement
 /// core: the harness instantiates it once at `S = ErasedSmr` (any scheme
 /// at runtime); library users may instantiate it with concrete types for
 /// a zero-virtual-call measurement loop.
-fn drive<S, T>(scheme: &Arc<S>, set: &Arc<T>, params: &WorkloadParams) -> (u64, f64)
+///
+/// The worker loop itself lives in the load-generation layer
+/// ([`crate::load::drive_worker`]): under [`LoadModel::Closed`] it is the
+/// pre-refactor tight loop (per-op relaxed stop check, no clocks — see
+/// the regression note there about post-stop ops); under an open model
+/// each worker follows its arrival schedule and measures latency from
+/// intended arrival to completion.
+///
+/// [`LoadModel::Closed`]: crate::load::LoadModel::Closed
+fn drive<S, T>(scheme: &Arc<S>, set: &Arc<T>, params: &WorkloadParams) -> DriveOutcome
 where
     S: Smr,
     T: ConcurrentSet<S> + ?Sized + 'static,
@@ -309,7 +357,8 @@ where
 
     let stop = Arc::new(AtomicBool::new(false));
     let start_barrier = Arc::new(Barrier::new(params.threads + 1));
-    let total_ops = Arc::new(AtomicU64::new(0));
+    let reports = Mutex::new(Vec::with_capacity(params.threads));
+    let reports_ref = &reports;
     let elapsed_holder = AtomicU64::new(0);
     let elapsed_holder = &elapsed_holder;
 
@@ -319,7 +368,6 @@ where
             let set = Arc::clone(set);
             let stop = Arc::clone(&stop);
             let start_barrier = Arc::clone(&start_barrier);
-            let total_ops = Arc::clone(&total_ops);
             let params = params.clone();
             s.spawn(move || {
                 let handle = scheme.register();
@@ -330,30 +378,22 @@ where
                     params.key_dist,
                 );
                 start_barrier.wait();
-                let mut ops = 0u64;
-                // The stop flag is checked before *every* op: `elapsed`
-                // is captured when the flag is set, so any op counted
-                // after observing it would be work outside the measured
-                // window. (An earlier batch-of-64 check let a
-                // descheduled worker bill up to 63 post-window ops to
-                // the window — at 2–8× oversubscription that materially
-                // inflated ops/sec. The check is one relaxed load of a
-                // write-once cacheline; it does not contend.)
-                while !stop.load(Ordering::Relaxed) {
-                    match mix.next_op() {
-                        Op::Contains(k) => {
-                            set.contains(&handle, k);
+                let report =
+                    load::drive_worker(params.load_spec(), t, params.threads, 1, &stop, || {
+                        match mix.next_op() {
+                            Op::Contains(k) => {
+                                set.contains(&handle, k);
+                            }
+                            Op::Insert(k) => {
+                                set.insert(&handle, k);
+                            }
+                            Op::Remove(k) => {
+                                set.remove(&handle, k);
+                            }
                         }
-                        Op::Insert(k) => {
-                            set.insert(&handle, k);
-                        }
-                        Op::Remove(k) => {
-                            set.remove(&handle, k);
-                        }
-                    }
-                    ops += 1;
-                }
-                total_ops.fetch_add(ops, Ordering::Relaxed);
+                        0
+                    });
+                reports_ref.lock().unwrap().push(report);
                 // handle drops here: the thread unregisters before exit,
                 // as the signal platform requires.
             });
@@ -367,9 +407,14 @@ where
         // scope joins all workers here
     });
 
-    let elapsed = elapsed_holder.load(Ordering::Relaxed) as f64 / 1e6;
-    let ops = total_ops.load(Ordering::Relaxed);
-    (ops, elapsed)
+    let agg = Aggregate::from_reports(reports.into_inner().unwrap(), 1);
+    let open_loop = agg.open_extras(&params.load_model);
+    DriveOutcome {
+        ops: agg.total_ops,
+        secs: elapsed_holder.load(Ordering::Relaxed) as f64 / 1e6,
+        latency: agg.latency,
+        open_loop,
+    }
 }
 
 /// ThreadScan-specific report fields, recovered from the erased scheme by
@@ -488,7 +533,7 @@ pub fn run_combo(scheme: SchemeKind, params: &WorkloadParams) -> RunResult {
     let set = params.structure.build_set::<ErasedSmr>(params);
 
     let alloc_bracket = AllocBracket::open();
-    let (ops, secs) = drive(&erased, &set, params);
+    let outcome = drive(&erased, &set, params);
 
     let ts = threadscan_extras(&*dyn_scheme); // before quiesce (see docs)
     let (outstanding_after, leaked) = quiesce_and_account(&*dyn_scheme);
@@ -499,9 +544,9 @@ pub fn run_combo(scheme: SchemeKind, params: &WorkloadParams) -> RunResult {
         scheme: scheme.label().to_string(),
         structure: params.structure.label().to_string(),
         threads: params.threads,
-        duration_s: secs,
-        total_ops: ops,
-        ops_per_sec: ops as f64 / secs.max(1e-9),
+        duration_s: outcome.secs,
+        total_ops: outcome.ops,
+        ops_per_sec: outcome.ops as f64 / outcome.secs.max(1e-9),
         outstanding_after,
         leaked,
         protection_slots,
@@ -509,6 +554,8 @@ pub fn run_combo(scheme: SchemeKind, params: &WorkloadParams) -> RunResult {
         alloc,
         per_structure: Vec::new(),
         bucket_count: set.bucket_count(),
+        latency: outcome.latency,
+        open_loop: outcome.open_loop,
     }
 }
 
@@ -564,7 +611,8 @@ mod tests {
         let mut params = quick(StructureKind::List, THREADS);
         params.initial_size = 0; // no prefill through the stalling set
         params.duration = Duration::from_millis(60);
-        let (ops, secs) = drive(&scheme, &set, &params);
+        let outcome = drive(&scheme, &set, &params);
+        let (ops, secs) = (outcome.ops, outcome.secs);
         // Bound against the *measured* window, not the nominal 60 ms —
         // on a loaded machine the driver's sleep can overshoot, in which
         // case more ops legitimately fit. `+ 1` covers the op in flight
@@ -649,5 +697,142 @@ mod tests {
         let r = run_combo(SchemeKind::Leaky, &quick(StructureKind::Hash, 2));
         assert!(r.outstanding_after.is_none());
         assert!(r.leaked.is_some());
+    }
+
+    /// A set that records every operation it is asked to perform, in
+    /// order — the probe for the closed-model pinning test.
+    struct RecordingSet(Mutex<Vec<Op>>);
+
+    impl ConcurrentSet<Leaky> for RecordingSet {
+        fn contains(&self, _h: &<Leaky as Smr>::Handle, k: u64) -> bool {
+            self.0.lock().unwrap().push(Op::Contains(k));
+            false
+        }
+        fn insert(&self, _h: &<Leaky as Smr>::Handle, k: u64) -> bool {
+            self.0.lock().unwrap().push(Op::Insert(k));
+            true
+        }
+        fn remove(&self, _h: &<Leaky as Smr>::Handle, k: u64) -> bool {
+            self.0.lock().unwrap().push(Op::Remove(k));
+            false
+        }
+        fn kind(&self) -> &'static str {
+            "recording"
+        }
+    }
+
+    /// Pins [`LoadModel::Closed`](crate::load::LoadModel::Closed) to the
+    /// pre-refactor runner observationally: a single worker must issue
+    /// *exactly* the op stream of `OpMix::with_dist(0x51ED_1E55 ^ 0, ...)`
+    /// (the documented per-worker seed), count every issued op, and take
+    /// no per-op clocks (no latency, no open-loop extras).
+    #[test]
+    fn closed_model_is_observationally_the_pre_refactor_loop() {
+        let scheme = Arc::new(Leaky::new());
+        let set = Arc::new(RecordingSet(Mutex::new(Vec::new())));
+        let mut params = quick(StructureKind::List, 1);
+        params.initial_size = 0; // keep prefill out of the recording
+        params.duration = Duration::from_millis(40);
+        assert_eq!(params.load_model, crate::load::LoadModel::Closed);
+        let outcome = drive(&scheme, &set, &params);
+
+        let recorded = set.0.lock().unwrap();
+        assert_eq!(
+            outcome.ops as usize,
+            recorded.len(),
+            "every issued op is counted, none invented"
+        );
+        assert!(outcome.ops > 0, "the worker must make progress");
+        assert!(outcome.latency.is_none(), "closed loop takes no clocks");
+        assert!(outcome.open_loop.is_none(), "closed loop has no extras");
+
+        // Replay the documented stream: worker 0 seeds OpMix with
+        // 0x51ED_1E55 ^ (0 << 1).
+        let mut expect = OpMix::with_dist(
+            0x51ED_1E55,
+            params.key_range,
+            params.update_pct,
+            params.key_dist,
+        );
+        for (i, op) in recorded.iter().enumerate() {
+            assert_eq!(*op, expect.next_op(), "op {i} diverged from the stream");
+        }
+    }
+
+    #[test]
+    fn open_loop_run_reports_latency_and_extras() {
+        let mut p = quick(StructureKind::Hash, 2);
+        p.duration = Duration::from_millis(200);
+        p = p.with_load_model(crate::load::LoadModel::OpenPoisson { qps: 20_000.0 });
+        let r = run_combo(SchemeKind::ThreadScan, &p);
+        assert!(r.total_ops > 0);
+        let lat = r.latency.clone().expect("open model measures latency");
+        assert_eq!(lat.count, r.total_ops, "every completed op is recorded");
+        assert!(lat.p50_ns > 0.0);
+        assert!(lat.p50_ns <= lat.p99_ns && lat.p99_ns <= lat.p999_ns);
+        assert!(lat.max_ns > 0);
+        let ol = r.open_loop.clone().expect("open model reports extras");
+        assert_eq!(ol.model, "poisson(20000)");
+        assert_eq!(ol.dropped, 0, "Queue policy never drops");
+        assert!(ol.offered >= r.total_ops, "served ops were all offered");
+        // JSON carries both blocks.
+        let v = crate::json::parse(&r.to_json()).expect("valid JSON");
+        assert!(v.get("latency").get("p999_ns").as_f64().is_some());
+        assert_eq!(
+            v.get("open_loop").get("model").as_str(),
+            Some("poisson(20000)")
+        );
+    }
+
+    #[test]
+    fn open_loop_throughput_tracks_the_offered_rate() {
+        // 10k QPS against a trivial structure: the run must complete
+        // roughly duration × qps ops — not the millions a closed loop
+        // would push. Generous bounds: scheduler jitter on a loaded
+        // machine can run the window long or starve arrival precision.
+        let mut p = quick(StructureKind::Hash, 2);
+        p.duration = Duration::from_millis(300);
+        p = p.with_load_model(crate::load::LoadModel::OpenPoisson { qps: 10_000.0 });
+        let r = run_combo(SchemeKind::Leaky, &p);
+        let expected = 10_000.0 * r.duration_s;
+        assert!(
+            (r.total_ops as f64) < expected * 2.0,
+            "{} ops vs ~{expected:.0} expected: arrivals are not pacing",
+            r.total_ops
+        );
+        assert!(
+            (r.total_ops as f64) > expected * 0.5,
+            "{} ops vs ~{expected:.0} expected: workers starved",
+            r.total_ops
+        );
+    }
+
+    #[test]
+    fn drop_policy_surfaces_in_run_results() {
+        // Offered load far beyond one thread's capacity on a stalling
+        // structure, with a tight drop deadline: drops must be reported.
+        let scheme = Arc::new(Leaky::new());
+        let set = Arc::new(StallingSet);
+        let mut params = quick(StructureKind::List, 1);
+        params.initial_size = 0;
+        params.duration = Duration::from_millis(80);
+        params = params
+            .with_load_model(crate::load::LoadModel::OpenPoisson { qps: 5_000.0 })
+            .with_backlog(crate::load::BacklogPolicy::DropAfter(
+                Duration::from_millis(10),
+            ));
+        let outcome = drive(&scheme, &set, &params);
+        let ol = outcome.open_loop.expect("open model reports extras");
+        assert!(ol.dropped > 0, "overload with a deadline must shed");
+        assert!(
+            ol.sched_lag_max_ns > 10_000_000,
+            "lag must exceed the 10 ms deadline: {}",
+            ol.sched_lag_max_ns
+        );
+        assert_eq!(
+            ol.offered,
+            outcome.ops + ol.dropped,
+            "offered splits exactly into served + dropped"
+        );
     }
 }
