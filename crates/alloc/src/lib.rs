@@ -51,9 +51,11 @@ pub mod size_classes;
 pub mod spin;
 pub mod stats;
 pub mod switchable;
+pub mod telemetry;
 
 pub use global::TsAlloc;
 pub use pool::{dealloc_node, pool_bytes_resident, pool_stats, PoolHandle, PoolStats};
 pub use size_classes::{class_size, NUM_CLASSES};
 pub use stats::{stats, AllocStats};
 pub use switchable::{enable_ts_alloc, ts_alloc_enabled, SwitchableAlloc};
+pub use telemetry::register_pool_metrics;

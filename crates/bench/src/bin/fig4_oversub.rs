@@ -16,8 +16,14 @@
 //! ```text
 //! cargo run -p ts-bench --release --bin fig4_oversub -- \
 //!     [--duration 2.0] [--repeats 2] [--threads ...] [--scale 1] \
-//!     [--ts-sort-threads N] [--json out]
+//!     [--ts-sort-threads N] [--json out] \
+//!     [--telemetry] [--trace-out trace.json]
 //! ```
+//!
+//! `--trace-out` (which implies `--telemetry`) captures every collect's
+//! phase timeline into a chrome://tracing / Perfetto document: each
+//! collect decomposes into announce → signal → per-thread scan spans →
+//! sort → free, one track per scanned thread.
 
 use std::time::Duration;
 
@@ -37,11 +43,12 @@ fn main() {
         &if quick { vec![2, 4] } else { oversub_ladder() },
     );
     let sort_threads = args.get_usize("ts-sort-threads", 0);
+    let telemetry = args.telemetry_requested();
 
     println!("# Figure 4: oversubscription ({})", machine_info());
     println!(
         "# duration={duration:?} repeats={repeats} scale=1/{scale} threads={threads:?} \
-         ts-sort-threads={sort_threads} (0 = collector default)"
+         ts-sort-threads={sort_threads} (0 = collector default) telemetry={telemetry}"
     );
 
     let mut report = Report::new("fig4");
@@ -51,7 +58,8 @@ fn main() {
                 let params = WorkloadParams::fig3(structure, t)
                     .scaled_down(scale)
                     .with_duration(duration)
-                    .with_ts_sort_threads(sort_threads);
+                    .with_ts_sort_threads(sort_threads)
+                    .with_telemetry(telemetry);
                 run_cell(&mut report, scheme, &params, repeats, None);
 
                 // The tuned line: hash table + ThreadScan + 4096 buffers.
@@ -70,6 +78,7 @@ fn main() {
     }
 
     println!("{}", report.render_series());
+    args.write_trace();
     args.write_json_report(&report);
 }
 

@@ -19,7 +19,8 @@
 //! cargo run -p ts-bench --release --bin fig_service_tail -- \
 //!     [--qps 100000,300000,1000000] [--schemes leaky,epoch,threadscan] \
 //!     [--threads 8] [--duration 3.0] [--keys 4000000] [--theta 0.99] \
-//!     [--burst-ms 10 --duty 0.25] [--drop-ms 50] [--json out.jsonl]
+//!     [--burst-ms 10 --duty 0.25] [--drop-ms 50] [--json out.jsonl] \
+//!     [--telemetry] [--trace-out trace.json]
 //! ```
 //!
 //! `--quick` is the CI shape: Leaky vs ThreadScan at two QPS levels on a
@@ -65,6 +66,7 @@ fn main() {
     };
     let burst_ms = args.get("burst-ms").map(|_| args.get_f64("burst-ms", 10.0));
     let duty = args.get_f64("duty", 0.25);
+    let telemetry = args.telemetry_requested();
 
     println!(
         "# Service tail: open-loop latency vs offered QPS ({})",
@@ -101,7 +103,8 @@ fn main() {
                 .with_duration(duration)
                 .with_key_dist(KeyDist::Zipf { theta })
                 .with_load_model(model)
-                .with_backlog(backlog);
+                .with_backlog(backlog)
+                .with_telemetry(telemetry);
             params.key_range = keys;
             params.initial_size = (keys / 2) as usize;
             let r = run_combo(scheme, &params);
@@ -123,5 +126,6 @@ fn main() {
         }
     }
 
+    args.write_trace();
     args.write_json_report(&report);
 }

@@ -126,14 +126,44 @@ impl CliArgs {
     }
 
     /// The `--json <path>` epilogue every figure binary shares: writes
-    /// the report's JSON lines if the flag was given.
+    /// the report's JSON lines if the flag was given. Also notes the
+    /// chrome-trace destination when `--trace-out` is in effect, so a
+    /// report consumer knows a timeline exists for this run.
     pub fn write_json_report(&self, report: &Report) {
         if let Some(path) = self.get("json") {
             report
                 .write_json(std::path::Path::new(path))
                 .expect("write json");
             println!("# json written to {path}");
+            if let Some(trace) = self.trace_out() {
+                println!("# chrome trace for this run: {trace}");
+            }
         }
+    }
+
+    /// Whether this invocation asked for telemetry: an explicit
+    /// `--telemetry` flag, or implicitly via `--trace-out` (a trace
+    /// cannot be produced without the sink installed).
+    pub fn telemetry_requested(&self) -> bool {
+        self.get_flag("telemetry") || self.trace_out().is_some()
+    }
+
+    /// The `--trace-out <file.json>` destination, if given.
+    pub fn trace_out(&self) -> Option<&str> {
+        self.get("trace-out")
+    }
+
+    /// The `--trace-out` epilogue shared by the figure binaries: renders
+    /// everything the event rings captured as one chrome://tracing /
+    /// Perfetto document and writes it where `--trace-out` pointed.
+    /// No-op without the flag. Call once, after the measured runs.
+    pub fn write_trace(&self) {
+        let Some(path) = self.trace_out() else {
+            return;
+        };
+        let json = ts_telemetry::render_chrome_trace();
+        std::fs::write(path, json).expect("write chrome trace");
+        println!("# chrome trace written to {path} (load in chrome://tracing or ui.perfetto.dev)");
     }
 }
 
@@ -193,6 +223,16 @@ mod tests {
 
     fn args(s: &[&str]) -> CliArgs {
         CliArgs::from_args(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn telemetry_is_requested_by_flag_or_trace_out() {
+        assert!(!args(&["--quick"]).telemetry_requested());
+        assert!(args(&["--telemetry"]).telemetry_requested());
+        let a = args(&["--trace-out", "t.json"]);
+        assert!(a.telemetry_requested());
+        assert_eq!(a.trace_out(), Some("t.json"));
+        assert_eq!(args(&[]).trace_out(), None);
     }
 
     #[test]

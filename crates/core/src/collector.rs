@@ -192,7 +192,7 @@ impl<P: Platform> Collector<P> {
         // application memory; everything below is collector machinery.
         let ctx = capture_context();
         let mut state = self.reclaim.lock();
-        self.collect_locked(&mut state, &ctx);
+        self.collect_locked(&mut state, &ctx, false);
         drop(state);
         // Forced path: block for the queue instead of `try_lock`, so a
         // caller of `flush()` never returns with proven-reclaimable nodes
@@ -211,7 +211,7 @@ impl<P: Platform> Collector<P> {
             self.stats.add(&self.stats.collects_skipped, 1);
             return;
         }
-        self.collect_locked(&mut state, ctx);
+        self.collect_locked(&mut state, ctx, false);
     }
 
     /// The adaptive policy's pending watermark: the configured value, or —
@@ -297,11 +297,15 @@ impl<P: Platform> Collector<P> {
             return;
         }
         self.stats.add(&self.stats.adaptive_collects, 1);
-        self.collect_locked(&mut state, ctx);
+        self.collect_locked(&mut state, ctx, true);
     }
 
     /// One reclamation phase. Caller holds the reclaimer lock.
-    fn collect_locked(&self, state: &mut ReclaimState, ctx: &SelfScanContext) {
+    /// `adaptive` is true when the adaptive controller (not a full
+    /// buffer or a forced flush) initiated this phase — telemetry only.
+    fn collect_locked(&self, state: &mut ReclaimState, ctx: &SelfScanContext, adaptive: bool) {
+        use crate::telemetry::PhaseKind;
+
         let mut entries = std::mem::take(&mut state.survivors);
         entries.append(&mut self.orphans.lock());
         let buffers: Vec<Arc<LocalBuffer>> = self.buffers.lock().clone();
@@ -314,6 +318,17 @@ impl<P: Platform> Collector<P> {
             return;
         }
         let phase_start = std::time::Instant::now();
+        // Telemetry off (`None`) costs exactly this one plain-field
+        // branch; ids and clock reads happen only when a sink is set.
+        let telemetry = self
+            .config
+            .telemetry
+            .map(|sink| (sink, crate::telemetry::next_collect_id()));
+        let entry_count = entries.len();
+        if let Some((sink, id)) = telemetry {
+            sink.event(PhaseKind::CollectBegin, id, entry_count as u64);
+            sink.event(PhaseKind::SortBegin, id, 0);
+        }
 
         let pool = self.sort_pool(entries.len());
         let master = MasterBuffer::build(entries, &self.config, pool);
@@ -322,7 +337,12 @@ impl<P: Platform> Collector<P> {
         self.stats
             .add(&self.stats.sort_cpu_ns_total, master.sort_cpu_ns());
         self.stats.record_shard_sizes(master.shard_sizes());
-        let session = master.session();
+        if let Some((sink, id)) = telemetry {
+            sink.event(PhaseKind::SortEnd, id, master.shard_sizes().len() as u64);
+        }
+        let mut session = master.session();
+        session.set_telemetry(telemetry);
+        let session = session;
         #[cfg(not(ts_mutate_ordering))]
         let outcome = self.platform.scan_all(&session, ctx);
         // Mutation check (`RUSTFLAGS="--cfg ts_mutate_ordering"`, CI's
@@ -346,11 +366,16 @@ impl<P: Platform> Collector<P> {
         drop(session);
 
         let (reclaimable, survivors) = master.partition();
-        self.stats.add(&self.stats.survivors, survivors.len());
+        let survivor_count = survivors.len();
+        self.stats.add(&self.stats.survivors, survivor_count);
         state.survivors = survivors;
 
-        if self.config.distribute_frees {
+        if let Some((sink, id)) = telemetry {
+            sink.event(PhaseKind::FreeBegin, id, reclaimable.len() as u64);
+        }
+        let freed = if self.config.distribute_frees {
             self.free_queue.lock().extend(reclaimable);
+            0
         } else {
             let n = reclaimable.len();
             for r in reclaimable {
@@ -359,6 +384,10 @@ impl<P: Platform> Collector<P> {
                 unsafe { r.reclaim() };
             }
             self.stats.add(&self.stats.freed, n);
+            n
+        };
+        if let Some((sink, id)) = telemetry {
+            sink.event(PhaseKind::FreeEnd, id, freed as u64);
         }
 
         // Reclaimer-side latency (sort + broadcast + ack wait + sweep):
@@ -368,6 +397,20 @@ impl<P: Platform> Collector<P> {
         self.stats.add(&self.stats.collect_ns_total, ns);
         self.stats.raise(&self.stats.collect_ns_max, ns);
         self.stats.record_collect_ns(ns);
+        if let Some((sink, id)) = telemetry {
+            sink.event(PhaseKind::CollectEnd, id, survivor_count as u64);
+            (sink.collect_summary)(&crate::telemetry::CollectSummary {
+                collect_id: id,
+                ns: ns as u64,
+                entries: entry_count,
+                freed,
+                survivors: survivor_count,
+                threads_scanned: outcome.threads_scanned,
+                adaptive,
+                pending: self.outstanding_proxy(),
+                armed: self.adaptive_armed.load(Ordering::Relaxed),
+            });
+        }
     }
 
     /// Frees up to `max` queued nodes from the distributed-free queue.

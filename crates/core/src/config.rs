@@ -5,6 +5,8 @@
 
 use std::sync::Arc;
 
+use crate::telemetry::TelemetrySink;
+
 /// When the collector initiates reclamation phases.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum CollectPolicy {
@@ -140,6 +142,11 @@ pub struct CollectorConfig {
     /// Adaptive only: the bytes-resident gauge backing the heap-pressure
     /// trigger; `None` (default) disables it.
     pub pressure_source: Option<PressureSource>,
+    /// Phase-event sink (see [`crate::telemetry`]). `None` (default)
+    /// means telemetry is off and the collect/scan hot paths execute no
+    /// additional atomic operations — the check is a branch on a plain
+    /// field.
+    pub telemetry: Option<TelemetrySink>,
 }
 
 /// Default shard count: the number of hardware threads, rounded up to a
@@ -184,6 +191,7 @@ impl Default for CollectorConfig {
             pending_high_watermark: 0,
             pressure_high_watermark: 0,
             pressure_source: None,
+            telemetry: None,
         }
     }
 }
@@ -281,6 +289,14 @@ impl CollectorConfig {
         self.pressure_high_watermark = bytes_high_watermark;
         self
     }
+
+    /// Builder-style telemetry hookup: phase events and collect
+    /// summaries flow into `sink` (typically `ts_telemetry::sink()`).
+    /// See [`crate::telemetry`] for the sink's safety contract.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = Some(sink);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -301,6 +317,7 @@ mod tests {
         assert_eq!(cfg.pending_high_watermark, 0);
         assert_eq!(cfg.pressure_high_watermark, 0);
         assert!(cfg.pressure_source.is_none());
+        assert!(cfg.telemetry.is_none(), "telemetry must be opt-in");
         assert!(cfg.shards >= 1, "default shards derive from parallelism");
         assert!(cfg.shards <= 64);
         assert!(cfg.sort_threads >= 1, "sort_threads defaults to >= 1");
@@ -394,6 +411,19 @@ mod tests {
         let copy = cfg.clone();
         assert_eq!(copy.pressure_source.as_ref().unwrap().bytes(), 4096);
         assert!(format!("{copy:?}").contains("PressureSource"));
+    }
+
+    #[test]
+    fn telemetry_builder_installs_sink_and_stays_clonable() {
+        fn rec(_: crate::telemetry::PhaseEvent) {}
+        fn sum(_: &crate::telemetry::CollectSummary) {}
+        let cfg = CollectorConfig::default().with_telemetry(TelemetrySink {
+            record: rec,
+            collect_summary: sum,
+        });
+        assert!(cfg.telemetry.is_some());
+        let copy = cfg.clone();
+        assert!(format!("{copy:?}").contains("TelemetrySink"));
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod scan;
 pub mod selfscan;
 pub mod session;
 pub mod stats;
+pub mod telemetry;
 
 pub use collector::{Collector, ThreadHandle};
 pub use config::{CollectPolicy, CollectorConfig, MatchMode, PressureSource};
@@ -71,3 +72,4 @@ pub use roots::ThreadRoots;
 pub use selfscan::{capture_context, SelfScanContext};
 pub use session::ScanSession;
 pub use stats::{CollectorStats, StatsSnapshot};
+pub use telemetry::{CollectSummary, PhaseEvent, PhaseKind, TelemetrySink};

@@ -12,6 +12,7 @@ use core::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
 use crate::config::MatchMode;
 use crate::scan::{find_exact, find_range};
+use crate::telemetry::TelemetrySink;
 
 /// Read-only view of one master-buffer shard: sorted search keys, node
 /// ends, and the mark bytes, all parallel.
@@ -49,6 +50,11 @@ pub struct ScanSession<'a> {
     acks: AtomicUsize,
     words_scanned: AtomicUsize,
     hits: AtomicUsize,
+    /// `(sink, collect_id)` when the owning collector has telemetry
+    /// enabled. A plain field: scanning threads (including signal
+    /// handlers) read it with no atomics, and when `None` the scan path
+    /// is byte-for-byte the telemetry-free one.
+    telemetry: Option<(TelemetrySink, u64)>,
 }
 
 impl<'a> ScanSession<'a> {
@@ -68,7 +74,24 @@ impl<'a> ScanSession<'a> {
             acks: AtomicUsize::new(0),
             words_scanned: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
+            telemetry: None,
         }
+    }
+
+    /// Attaches the collector's telemetry sink (and the id of the collect
+    /// this session belongs to) so scanning threads can stamp
+    /// scan-begin/scan-end events. Set once by the reclaimer before the
+    /// session is published to the platform.
+    pub(crate) fn set_telemetry(&mut self, telemetry: Option<(TelemetrySink, u64)>) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry sink and collect id, if any. Read from
+    /// signal handlers: a plain (non-atomic) load, safe because the
+    /// field is written before the session is shared.
+    #[inline]
+    pub fn telemetry(&self) -> Option<(TelemetrySink, u64)> {
+        self.telemetry
     }
 
     /// Number of retired nodes being considered this phase.

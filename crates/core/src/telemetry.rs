@@ -1,0 +1,251 @@
+//! Telemetry hook points: how a collector publishes phase events.
+//!
+//! The protocol core stays dependency-free, so this module defines only
+//! the *shape* of telemetry — a [`TelemetrySink`] of plain function
+//! pointers — and leaves the implementation (per-thread ring buffers, a
+//! metrics registry, exporters) to the `ts-telemetry` crate, which hands
+//! a sink to [`CollectorConfig::with_telemetry`](crate::CollectorConfig::with_telemetry).
+//!
+//! Two contracts matter:
+//!
+//! 1. **Async-signal-safety.** [`TelemetrySink::record`] is called from
+//!    the sigscan signal handler (for [`PhaseKind::ScanBegin`] /
+//!    [`PhaseKind::ScanEnd`]). An implementation must not allocate,
+//!    lock, or panic on that path.
+//! 2. **Zero cost when off.** The sink travels as
+//!    `Option<TelemetrySink>` in plain (non-atomic) fields — config,
+//!    scan session. When it is `None`, the hot paths execute no extra
+//!    atomic operations at all; the check is one branch on a plain load.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// What a [`PhaseEvent`] marks within a reclamation phase.
+///
+/// Paired `*Begin`/`*End` kinds bracket spans; the rest are instants.
+/// Discriminants are stable and public so sinks can pack a kind into a
+/// ring-buffer word via [`PhaseKind::code`] and recover it with
+/// [`PhaseKind::from_code`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum PhaseKind {
+    /// Reclaimer entered `collect`: buffers drained, master build next.
+    /// `arg` = number of retired entries aggregated this phase.
+    CollectBegin = 1,
+    /// Master-buffer build (shard partition + sorts) started.
+    SortBegin = 2,
+    /// Master-buffer build finished. `arg` = shard count.
+    SortEnd = 3,
+    /// Scan round opened; signals are about to be broadcast.
+    /// `arg` = number of threads expected to acknowledge.
+    Announce = 4,
+    /// One signal was delivered to a peer thread. `arg` = target ordinal
+    /// within this round's broadcast (0-based).
+    SignalSent = 5,
+    /// A thread (handler or self-scan) began scanning its roots.
+    /// Recorded *inside the signal handler* — the sink must be
+    /// async-signal-safe.
+    ScanBegin = 6,
+    /// A thread finished scanning, immediately before its ACK.
+    /// `arg` = words scanned so far session-wide (approximate attribution).
+    ScanEnd = 7,
+    /// Every expected acknowledgment arrived. `arg` = acks counted.
+    AllAcked = 8,
+    /// Sweep started: unmarked nodes are about to be freed (or queued
+    /// for distributed frees). `arg` = candidate node count.
+    FreeBegin = 9,
+    /// Sweep finished. `arg` = nodes actually freed by the reclaimer.
+    FreeEnd = 10,
+    /// Reclaimer left `collect`. `arg` = survivor count.
+    CollectEnd = 11,
+}
+
+/// All kinds, in discriminant order (handy for exporters and tests).
+pub const PHASE_KINDS: [PhaseKind; 11] = [
+    PhaseKind::CollectBegin,
+    PhaseKind::SortBegin,
+    PhaseKind::SortEnd,
+    PhaseKind::Announce,
+    PhaseKind::SignalSent,
+    PhaseKind::ScanBegin,
+    PhaseKind::ScanEnd,
+    PhaseKind::AllAcked,
+    PhaseKind::FreeBegin,
+    PhaseKind::FreeEnd,
+    PhaseKind::CollectEnd,
+];
+
+impl PhaseKind {
+    /// Stable wire code for ring-buffer packing. Never 0, so a zeroed
+    /// ring cell cannot alias a real event.
+    #[inline]
+    pub const fn code(self) -> u64 {
+        self as u64
+    }
+
+    /// Inverse of [`PhaseKind::code`]; `None` for unknown codes.
+    pub const fn from_code(code: u64) -> Option<Self> {
+        match code {
+            1 => Some(Self::CollectBegin),
+            2 => Some(Self::SortBegin),
+            3 => Some(Self::SortEnd),
+            4 => Some(Self::Announce),
+            5 => Some(Self::SignalSent),
+            6 => Some(Self::ScanBegin),
+            7 => Some(Self::ScanEnd),
+            8 => Some(Self::AllAcked),
+            9 => Some(Self::FreeBegin),
+            10 => Some(Self::FreeEnd),
+            11 => Some(Self::CollectEnd),
+            _ => None,
+        }
+    }
+
+    /// Human/trace-facing name (`snake_case`, stable).
+    pub const fn label(self) -> &'static str {
+        match self {
+            Self::CollectBegin => "collect",
+            Self::SortBegin => "sort",
+            Self::SortEnd => "sort_end",
+            Self::Announce => "announce",
+            Self::SignalSent => "signal_sent",
+            Self::ScanBegin => "scan",
+            Self::ScanEnd => "scan_end",
+            Self::AllAcked => "all_acked",
+            Self::FreeBegin => "free",
+            Self::FreeEnd => "free_end",
+            Self::CollectEnd => "collect_end",
+        }
+    }
+}
+
+/// One phase event, as handed to [`TelemetrySink::record`].
+///
+/// Deliberately timestamp-free: the sink stamps monotonic nanoseconds at
+/// record time, so the core never takes a clock reading on behalf of a
+/// sink that may not want one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseEvent {
+    /// Which phase boundary this is.
+    pub kind: PhaseKind,
+    /// Which collect it belongs to. Monotonic per process (from
+    /// [`next_collect_id`]); lets exporters group events from concurrent
+    /// collectors and interleaved rings into per-collect span trees.
+    pub collect_id: u64,
+    /// Kind-specific payload; see each [`PhaseKind`] variant.
+    pub arg: u64,
+}
+
+/// End-of-collect roll-up, handed to [`TelemetrySink::collect_summary`]
+/// from the reclaimer (a normal thread context — summaries, unlike
+/// [`PhaseEvent`]s, may take locks or allocate in the sink).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CollectSummary {
+    /// The collect these totals describe.
+    pub collect_id: u64,
+    /// Wall-clock duration of the whole collect, in nanoseconds. Covers
+    /// exactly what `CollectorStats::record_collect_ns` records, so a
+    /// registry histogram fed from here stays equal to the snapshot's.
+    pub ns: u64,
+    /// Retired entries aggregated into the master buffer.
+    pub entries: usize,
+    /// Nodes freed by the reclaimer (excludes distributed-free handoffs).
+    pub freed: usize,
+    /// Marked nodes carried over to the next phase.
+    pub survivors: usize,
+    /// Threads that completed a scan this phase (including the reclaimer).
+    pub threads_scanned: usize,
+    /// True when the adaptive policy (not a full buffer) initiated this
+    /// collect.
+    pub adaptive: bool,
+    /// Retired-but-unfreed backlog after this collect (the adaptive
+    /// policy's cheap `retired − freed` proxy).
+    pub pending: usize,
+    /// Whether the adaptive controller's hysteresis latch is armed
+    /// (able to fire) after this collect. Always `true` under
+    /// [`CollectPolicy::Fixed`](crate::CollectPolicy::Fixed).
+    pub armed: bool,
+}
+
+/// Telemetry callbacks, as installed via
+/// [`CollectorConfig::with_telemetry`](crate::CollectorConfig::with_telemetry).
+///
+/// A sink is a `Copy` bundle of plain `fn` pointers — no allocation, no
+/// vtable indirection through fat pointers on the signal path, and a
+/// cheap plain-field `Option` check when disabled.
+#[derive(Clone, Copy)]
+pub struct TelemetrySink {
+    /// Records one phase event. **Must be async-signal-safe**: called
+    /// from the sigscan signal handler for scan events. No allocation,
+    /// no locks, no panics.
+    pub record: fn(PhaseEvent),
+    /// Records an end-of-collect roll-up. Called from the reclaimer
+    /// thread only; may allocate or lock.
+    pub collect_summary: fn(&CollectSummary),
+}
+
+impl TelemetrySink {
+    /// Convenience wrapper: stamp one phase event.
+    #[inline]
+    pub fn event(&self, kind: PhaseKind, collect_id: u64, arg: u64) {
+        (self.record)(PhaseEvent {
+            kind,
+            collect_id,
+            arg,
+        });
+    }
+}
+
+impl std::fmt::Debug for TelemetrySink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TelemetrySink(..)")
+    }
+}
+
+/// Process-wide collect-id source. Only called when telemetry is
+/// enabled, so the disabled hot path never touches this atomic. Starts
+/// at 1: id 0 is reserved as "no collect" for ring cells.
+pub fn next_collect_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_and_never_zero() {
+        for k in PHASE_KINDS {
+            assert_ne!(k.code(), 0, "{k:?} must not alias an empty ring cell");
+            assert_eq!(PhaseKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(PhaseKind::from_code(0), None);
+        assert_eq!(PhaseKind::from_code(255), None);
+    }
+
+    #[test]
+    fn collect_ids_are_monotonic_and_nonzero() {
+        let a = next_collect_id();
+        let b = next_collect_id();
+        assert!(a >= 1);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn sink_is_copy_debug_and_dispatches() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static HITS: AtomicU64 = AtomicU64::new(0);
+        fn rec(ev: PhaseEvent) {
+            HITS.fetch_add(ev.arg, Ordering::Relaxed);
+        }
+        fn sum(_: &CollectSummary) {}
+        let sink = TelemetrySink {
+            record: rec,
+            collect_summary: sum,
+        };
+        let copy = sink; // Copy
+        copy.event(PhaseKind::Announce, 7, 5);
+        assert_eq!(HITS.load(Ordering::Relaxed), 5);
+        assert_eq!(format!("{sink:?}"), "TelemetrySink(..)");
+    }
+}

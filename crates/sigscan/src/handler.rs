@@ -181,7 +181,17 @@ pub(crate) fn scan_self(session: &ScanSession<'_>, ctx: &threadscan::SelfScanCon
     if !participates {
         return false;
     }
+    if let Some((sink, id)) = session.telemetry() {
+        sink.event(threadscan::PhaseKind::ScanBegin, id, 0);
+    }
     scan_thread(session, ctx.regs(), Some(ctx.floor));
+    if let Some((sink, id)) = session.telemetry() {
+        sink.event(
+            threadscan::PhaseKind::ScanEnd,
+            id,
+            session.words_scanned() as u64,
+        );
+    }
     session.ack();
     true
 }
@@ -240,11 +250,25 @@ pub(crate) extern "C" fn ts_signal_handler(
         return;
     }
 
+    // Telemetry stamps from handler context: `session.telemetry()` is a
+    // plain field read, and the sink's `record` is contractually
+    // async-signal-safe (ring write, no locks/allocation). When telemetry
+    // is off this is one branch on a plain load — no atomics.
+    if let Some((sink, id)) = session.telemetry() {
+        sink.event(threadscan::PhaseKind::ScanBegin, id, 0);
+    }
     let mut regs = [0usize; MAX_REGS];
     // SAFETY: `uctx` is the kernel-provided ucontext of this SA_SIGINFO
     // handler invocation.
     let n = unsafe { capture_registers(uctx, &mut regs) };
     scan_thread(session, &regs[..n], None);
+    if let Some((sink, id)) = session.telemetry() {
+        sink.event(
+            threadscan::PhaseKind::ScanEnd,
+            id,
+            session.words_scanned() as u64,
+        );
+    }
     // The ack is the very last session access (the reclaimer may free the
     // session as soon as the count is complete).
     session.ack();

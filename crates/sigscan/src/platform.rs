@@ -155,6 +155,10 @@ unsafe impl Platform for SignalPlatform {
         let mut targets: Vec<libc::pthread_t> = snapshot.iter().map(|r| r.pthread).collect();
         targets.sort_unstable();
         targets.dedup();
+        let telemetry = session.telemetry();
+        if let Some((sink, id)) = telemetry {
+            sink.event(threadscan::PhaseKind::Announce, id, targets.len() as u64);
+        }
         let mut expected = 0usize;
         for t in targets {
             if unsafe { libc::pthread_equal(t, me) } != 0 {
@@ -162,6 +166,9 @@ unsafe impl Platform for SignalPlatform {
             }
             let rc = unsafe { libc::pthread_kill(t, self.inner.signo) };
             if rc == 0 {
+                if let Some((sink, id)) = telemetry {
+                    sink.event(threadscan::PhaseKind::SignalSent, id, expected as u64);
+                }
                 expected += 1;
             } else {
                 // ESRCH: the thread is gone but never unregistered. Its
@@ -208,6 +215,9 @@ unsafe impl Platform for SignalPlatform {
             }
         }
 
+        if let Some((sink, id)) = telemetry {
+            sink.event(threadscan::PhaseKind::AllAcked, id, expected as u64);
+        }
         handler::end_round();
         self.inner.rounds.fetch_add(1, Ordering::Relaxed);
         ScanOutcome {

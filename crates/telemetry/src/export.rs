@@ -1,0 +1,372 @@
+//! Exporters: Prometheus text exposition and chrome://tracing JSON.
+//!
+//! Both render from the same two sources — the metrics registry
+//! ([`crate::metrics`]) and the per-thread event rings
+//! ([`crate::ring`]) — with no external dependencies: the Prometheus
+//! format is plain text, and trace-event JSON is simple enough to emit
+//! by hand.
+
+use std::fmt::Write as _;
+
+use threadscan::hist::{bucket_bound_ns, BUCKETS};
+use threadscan::PhaseKind;
+
+use crate::metrics::{entries, Instrument, Labels, MetricEntry};
+use crate::ring::{drain_events, dropped_events, EventRecord};
+
+/// Renders every registered metric in Prometheus text exposition format
+/// (version 0.0.4): `# HELP` / `# TYPE` headers, then one sample line
+/// per series — histograms as cumulative `_bucket{le=...}` series plus
+/// `_sum` and `_count`. Metrics with zero recorded samples still render
+/// (all-zero but valid — scrapers must never 500 on a fresh process).
+pub fn render_prometheus() -> String {
+    let mut out = String::new();
+    let mut last_name = "";
+    for entry in entries() {
+        if entry.name != last_name {
+            let kind = match entry.instrument {
+                Instrument::Counter(_) => "counter",
+                Instrument::Gauge(_) | Instrument::CallbackGauge(_) => "gauge",
+                Instrument::Hist(_) => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {} {}", entry.name, entry.help);
+            let _ = writeln!(out, "# TYPE {} {}", entry.name, kind);
+            last_name = entry.name;
+        }
+        render_sample(&mut out, &entry);
+    }
+    out
+}
+
+fn render_sample(out: &mut String, entry: &MetricEntry) {
+    match entry.instrument {
+        Instrument::Counter(c) => {
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                entry.name,
+                label_block(entry.labels, None),
+                c.get()
+            );
+        }
+        Instrument::Gauge(g) => {
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                entry.name,
+                label_block(entry.labels, None),
+                g.get()
+            );
+        }
+        Instrument::CallbackGauge(g) => {
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                entry.name,
+                label_block(entry.labels, None),
+                g.get()
+            );
+        }
+        Instrument::Hist(h) => {
+            let snapshot = h.snapshot();
+            let counts = snapshot.counts();
+            let mut cumulative = 0u64;
+            for (i, &count) in counts.iter().enumerate().take(BUCKETS) {
+                cumulative += count;
+                let le = format!("{}", bucket_bound_ns(i));
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    entry.name,
+                    label_block(entry.labels, Some(&le)),
+                    cumulative
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                entry.name,
+                label_block(entry.labels, Some("+Inf")),
+                cumulative
+            );
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                entry.name,
+                label_block(entry.labels, None),
+                h.sum()
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                entry.name,
+                label_block(entry.labels, None),
+                h.count()
+            );
+        }
+    }
+}
+
+/// `{k="v",...}` with an optional trailing `le` label; empty string when
+/// there are no labels at all.
+fn label_block(labels: Labels, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape(v));
+        first = false;
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Escapes a Prometheus label value / JSON string (shared subset:
+/// backslash, double quote, newline).
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Drains the event rings and renders a chrome://tracing /
+/// Perfetto-loadable trace (JSON object format, `"traceEvents"` array).
+///
+/// Layout: one track (`tid`) per event ring — i.e. per recording thread.
+/// Paired begin/end kinds become complete (`"X"`) spans on the ring they
+/// were recorded on: the reclaimer's ring carries the `collect` span
+/// with `sort` and `free` nested inside, and every scanned thread's ring
+/// carries its own `scan` span, so a straggler's signal-delivery latency
+/// is visible as the gap between the reclaimer's `announce` instant and
+/// that thread's `scan` span. Unpaired kinds (`announce`, `signal_sent`,
+/// `all_acked`) render as instant (`"i"`) events. A begin without an end
+/// (ring overwrote the end, or the process stopped mid-collect) is
+/// dropped rather than inventing a duration.
+pub fn render_chrome_trace() -> String {
+    let events = drain_events();
+    render_chrome_trace_from(&events)
+}
+
+/// [`render_chrome_trace`] over an explicit event list (testable without
+/// touching the global rings).
+pub fn render_chrome_trace_from(events: &[EventRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |s: String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        out.push_str(&s);
+        *first = false;
+    };
+
+    // Thread-name metadata for every ring that recorded anything.
+    let mut rings: Vec<usize> = events.iter().map(|e| e.ring).collect();
+    rings.sort_unstable();
+    rings.dedup();
+    for ring in &rings {
+        emit(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{ring},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"ring-{ring}\"}}}}"
+            ),
+            &mut first,
+        );
+    }
+
+    // Pair spans per (ring, collect_id, kind-pair). Events arrive
+    // ring-major and sequence-ascending from the drain, so a linear scan
+    // with a small open-span table is enough.
+    let mut open: Vec<(usize, u64, PhaseKind, u64, u64)> = Vec::new(); // ring, collect, begin-kind, ts, arg
+    for e in events {
+        match e.kind {
+            PhaseKind::CollectBegin
+            | PhaseKind::SortBegin
+            | PhaseKind::FreeBegin
+            | PhaseKind::ScanBegin => {
+                open.push((e.ring, e.collect_id, e.kind, e.ts_ns, e.arg));
+            }
+            PhaseKind::CollectEnd
+            | PhaseKind::SortEnd
+            | PhaseKind::FreeEnd
+            | PhaseKind::ScanEnd => {
+                let want = match e.kind {
+                    PhaseKind::CollectEnd => PhaseKind::CollectBegin,
+                    PhaseKind::SortEnd => PhaseKind::SortBegin,
+                    PhaseKind::FreeEnd => PhaseKind::FreeBegin,
+                    _ => PhaseKind::ScanBegin,
+                };
+                if let Some(pos) = open
+                    .iter()
+                    .rposition(|&(r, c, k, _, _)| r == e.ring && c == e.collect_id && k == want)
+                {
+                    let (_, _, _, begin_ts, begin_arg) = open.remove(pos);
+                    let dur_ns = e.ts_ns.saturating_sub(begin_ts);
+                    emit(
+                        format!(
+                            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+                             \"ts\":{},\"dur\":{},\"args\":{{\"collect\":{},\
+                             \"begin_arg\":{},\"end_arg\":{}}}}}",
+                            want.label(),
+                            e.ring,
+                            us(begin_ts),
+                            us(dur_ns),
+                            e.collect_id,
+                            begin_arg,
+                            e.arg
+                        ),
+                        &mut first,
+                    );
+                }
+                // An end with no surviving begin: overwritten — skip.
+            }
+            PhaseKind::Announce | PhaseKind::SignalSent | PhaseKind::AllAcked => {
+                emit(
+                    format!(
+                        "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\
+                         \"ts\":{},\"args\":{{\"collect\":{},\"arg\":{}}}}}",
+                        e.kind.label(),
+                        e.ring,
+                        us(e.ts_ns),
+                        e.collect_id,
+                        e.arg
+                    ),
+                    &mut first,
+                );
+            }
+        }
+    }
+
+    let _ = write!(
+        out,
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped_events\":{}}}}}",
+        dropped_events()
+    );
+    out
+}
+
+/// Trace-event timestamps are microseconds; emit three decimals so
+/// sub-microsecond spans stay visible.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{register_counter, register_hist, AtomicHist, Counter};
+    use crate::test_lock;
+
+    #[test]
+    fn empty_histogram_renders_valid_prometheus_text() {
+        // Satellite: 0 recorded events must render, not panic — all-zero
+        // buckets, `+Inf`, `_sum 0`, `_count 0`.
+        let _lock = test_lock();
+        static EMPTY: AtomicHist = AtomicHist::new();
+        register_hist("ts_test_empty_duration_ns", "always empty", &[], &EMPTY);
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE ts_test_empty_duration_ns histogram"));
+        assert!(text.contains("ts_test_empty_duration_ns_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("ts_test_empty_duration_ns_sum 0"));
+        assert!(text.contains("ts_test_empty_duration_ns_count 0"));
+        // And the percentile read on the empty histogram is 0, not NaN.
+        assert_eq!(EMPTY.snapshot().percentile_ns(0.999), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_render_cumulative() {
+        let _lock = test_lock();
+        static H: AtomicHist = AtomicHist::new();
+        register_hist("ts_test_cum_ns", "cumulative check", &[], &H);
+        H.record(1); // bucket 0 (le 2)
+        H.record(3); // bucket 1 (le 4)
+        H.record(3);
+        let text = render_prometheus();
+        assert!(text.contains("ts_test_cum_ns_bucket{le=\"2\"} 1"));
+        assert!(text.contains("ts_test_cum_ns_bucket{le=\"4\"} 3"));
+        assert!(text.contains("ts_test_cum_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("ts_test_cum_ns_sum 7"));
+        assert!(text.contains("ts_test_cum_ns_count 3"));
+    }
+
+    #[test]
+    fn counters_render_with_labels_and_one_header() {
+        let _lock = test_lock();
+        static A: Counter = Counter::new();
+        static B: Counter = Counter::new();
+        register_counter("ts_test_ops_total", "ops", &[("cls", "read")], &A);
+        register_counter("ts_test_ops_total", "ops", &[("cls", "write")], &B);
+        A.add(3);
+        B.add(4);
+        let text = render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE ts_test_ops_total counter").count(),
+            1,
+            "one TYPE header per metric name, not per series"
+        );
+        assert!(text.contains("ts_test_ops_total{cls=\"read\"} 3"));
+        assert!(text.contains("ts_test_ops_total{cls=\"write\"} 4"));
+    }
+
+    #[test]
+    fn chrome_trace_pairs_spans_and_handles_empty() {
+        let ev = |ring, kind, collect_id, ts_ns, arg| EventRecord {
+            ring,
+            seq: ts_ns, // unused by the renderer
+            ts_ns,
+            kind,
+            collect_id,
+            arg,
+        };
+        // Reclaimer on ring 0; one scanned thread on ring 1.
+        let events = [
+            ev(0, PhaseKind::CollectBegin, 5, 1_000, 128),
+            ev(0, PhaseKind::SortBegin, 5, 1_100, 0),
+            ev(0, PhaseKind::SortEnd, 5, 2_100, 4),
+            ev(0, PhaseKind::Announce, 5, 2_200, 2),
+            ev(0, PhaseKind::SignalSent, 5, 2_300, 0),
+            ev(0, PhaseKind::AllAcked, 5, 9_000, 1),
+            ev(0, PhaseKind::FreeBegin, 5, 9_100, 100),
+            ev(0, PhaseKind::FreeEnd, 5, 9_900, 100),
+            ev(0, PhaseKind::CollectEnd, 5, 10_000, 28),
+            ev(1, PhaseKind::ScanBegin, 5, 4_000, 0),
+            ev(1, PhaseKind::ScanEnd, 5, 8_000, 640),
+        ];
+        let json = render_chrome_trace_from(&events);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"collect\""));
+        assert!(json.contains("\"name\":\"sort\""));
+        assert!(json.contains("\"name\":\"free\""));
+        assert!(json.contains("\"name\":\"announce\""));
+        assert!(json.contains("\"name\":\"signal_sent\""));
+        assert!(json.contains("\"name\":\"all_acked\""));
+        // The scan span lives on the scanned thread's own track with the
+        // right duration (8000 - 4000 ns = 4 µs).
+        assert!(json.contains(
+            "\"name\":\"scan\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":4.000,\"dur\":4.000"
+        ));
+        // The collect span covers the whole phase (9 µs from ts 1 µs).
+        assert!(json.contains("\"ts\":1.000,\"dur\":9.000"));
+
+        // A begin whose end was overwritten renders no bogus span.
+        let truncated = [ev(0, PhaseKind::CollectBegin, 6, 0, 1)];
+        let json = render_chrome_trace_from(&truncated);
+        assert!(!json.contains("\"name\":\"collect\""));
+
+        // Zero events: still a valid, loadable document.
+        let json = render_chrome_trace_from(&[]);
+        assert!(json.starts_with("{\"traceEvents\":[]"));
+        assert!(json.ends_with('}'));
+    }
+}

@@ -1,0 +1,420 @@
+//! Process-wide metrics registry.
+//!
+//! One lock-free namespace for every subsystem's counters, gauges, and
+//! histograms, so `/metrics` can render the collector, the node pools,
+//! and the workload runners without knowing about any of them.
+//!
+//! The registry is a Treiber push list of leaked nodes: registration is
+//! a single CAS, readers walk plain `Acquire` loads, and nothing is ever
+//! unregistered (metrics are `&'static` by contract — process-lifetime
+//! instruments, like Prometheus client libraries model them). Each
+//! instrument carries a `registered` latch so registration is idempotent:
+//! calling a `register_*` function twice (or from racing threads) inserts
+//! exactly one node.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+
+use threadscan::hist::{bucket, BUCKETS};
+use threadscan::Hist;
+
+/// Static key/value label pairs attached to a metric at registration.
+pub type Labels = &'static [(&'static str, &'static str)];
+
+/// A monotonically increasing counter (`_total` metrics).
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// A zeroed, unregistered counter (usable in `static` items).
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A gauge: a value that can move both ways (or track a maximum).
+#[derive(Debug)]
+pub struct Gauge {
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// A zeroed, unregistered gauge (usable in `static` items).
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if it is currently lower (max-tracking).
+    #[inline]
+    pub fn raise(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A gauge whose value is computed at scrape time by a plain function —
+/// how an existing subsystem counter (e.g. the node pools'
+/// bytes-resident total) joins the namespace without double bookkeeping.
+#[derive(Debug)]
+pub struct CallbackGauge {
+    read: fn() -> u64,
+    registered: AtomicBool,
+}
+
+impl CallbackGauge {
+    /// Wraps `read` (usable in `static` items).
+    pub const fn new(read: fn() -> u64) -> Self {
+        Self {
+            read,
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Reads the underlying source.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        (self.read)()
+    }
+}
+
+/// A thread-safe log2 histogram with the exact bucket layout of
+/// [`threadscan::Hist`] — the same `floor(log2(ns))` math, so counts
+/// recorded here and counts recorded into a `CollectorStats` snapshot
+/// from the same durations are bucket-for-bucket equal.
+#[derive(Debug)]
+pub struct AtomicHist {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl AtomicHist {
+    /// An empty, unregistered histogram (usable in `static` items).
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            buckets: [ZERO; BUCKETS],
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Records one duration (or any non-negative sample), in nanoseconds.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A plain-histogram copy of the current bucket counts, for merging
+    /// and percentile reads through the shared [`threadscan::Hist`] API.
+    pub fn snapshot(&self) -> Hist {
+        let mut h = Hist::new();
+        let counts: Vec<usize> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed) as usize)
+            .collect();
+        h.add_counts(&counts);
+        h
+    }
+}
+
+impl Default for AtomicHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What kind of instrument a registry entry points at.
+#[derive(Debug, Clone, Copy)]
+pub enum Instrument {
+    /// A monotonic counter.
+    Counter(&'static Counter),
+    /// A settable gauge.
+    Gauge(&'static Gauge),
+    /// A scrape-time computed gauge.
+    CallbackGauge(&'static CallbackGauge),
+    /// A log2 histogram.
+    Hist(&'static AtomicHist),
+}
+
+/// One registered metric: name, help text, labels, instrument.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricEntry {
+    /// Prometheus metric name (`snake_case`, `threadscan_` prefix by
+    /// convention; counters end in `_total`).
+    pub name: &'static str,
+    /// One-line help text (`# HELP`).
+    pub help: &'static str,
+    /// Static label pairs rendered on every sample of this metric.
+    pub labels: Labels,
+    /// The instrument behind the name.
+    pub instrument: Instrument,
+}
+
+struct RegNode {
+    entry: MetricEntry,
+    next: *const RegNode,
+}
+
+/// Head of the registry list. Nodes are pushed once and leaked; the list
+/// only grows, so readers need no reclamation protocol (fitting, given
+/// the repository).
+static REGISTRY_HEAD: AtomicPtr<RegNode> = AtomicPtr::new(std::ptr::null_mut());
+
+fn push_entry(entry: MetricEntry) {
+    let node = Box::leak(Box::new(RegNode {
+        entry,
+        next: std::ptr::null(),
+    }));
+    let mut head = REGISTRY_HEAD.load(Ordering::Acquire);
+    loop {
+        node.next = head;
+        match REGISTRY_HEAD.compare_exchange_weak(head, node, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return,
+            Err(cur) => head = cur,
+        }
+    }
+}
+
+/// Claims an instrument's `registered` latch; `true` exactly once.
+fn claim(flag: &AtomicBool) -> bool {
+    flag.compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok()
+}
+
+/// Registers a counter. Idempotent: repeat calls (any thread) are no-ops.
+pub fn register_counter(
+    name: &'static str,
+    help: &'static str,
+    labels: Labels,
+    c: &'static Counter,
+) {
+    if claim(&c.registered) {
+        push_entry(MetricEntry {
+            name,
+            help,
+            labels,
+            instrument: Instrument::Counter(c),
+        });
+    }
+}
+
+/// Registers a gauge. Idempotent.
+pub fn register_gauge(name: &'static str, help: &'static str, labels: Labels, g: &'static Gauge) {
+    if claim(&g.registered) {
+        push_entry(MetricEntry {
+            name,
+            help,
+            labels,
+            instrument: Instrument::Gauge(g),
+        });
+    }
+}
+
+/// Registers a scrape-time computed gauge. Idempotent.
+pub fn register_callback_gauge(
+    name: &'static str,
+    help: &'static str,
+    labels: Labels,
+    g: &'static CallbackGauge,
+) {
+    if claim(&g.registered) {
+        push_entry(MetricEntry {
+            name,
+            help,
+            labels,
+            instrument: Instrument::CallbackGauge(g),
+        });
+    }
+}
+
+/// Registers a histogram. Idempotent.
+pub fn register_hist(
+    name: &'static str,
+    help: &'static str,
+    labels: Labels,
+    h: &'static AtomicHist,
+) {
+    if claim(&h.registered) {
+        push_entry(MetricEntry {
+            name,
+            help,
+            labels,
+            instrument: Instrument::Hist(h),
+        });
+    }
+}
+
+/// All registered metrics, sorted by name then labels for deterministic
+/// rendering. Allocates; not for signal contexts.
+pub fn entries() -> Vec<MetricEntry> {
+    let mut out = Vec::new();
+    let mut cur = REGISTRY_HEAD.load(Ordering::Acquire) as *const RegNode;
+    while !cur.is_null() {
+        // SAFETY: nodes are leaked at registration and never freed.
+        let node = unsafe { &*cur };
+        out.push(node.entry);
+        cur = node.next;
+    }
+    out.sort_by(|a, b| a.name.cmp(b.name).then_with(|| a.labels.cmp(b.labels)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_hist_basic_arithmetic() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.set(7);
+        g.raise(3);
+        assert_eq!(g.get(), 7, "raise below current is a no-op");
+        g.raise(11);
+        assert_eq!(g.get(), 11);
+
+        let h = AtomicHist::new();
+        h.record(1000);
+        h.record(1000);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 2000);
+        assert_eq!(h.snapshot().counts()[bucket(1000)], 2);
+    }
+
+    #[test]
+    fn atomic_hist_buckets_match_plain_hist() {
+        // The satellite contract's foundation: identical bucket math means
+        // a registry histogram and a `CollectorStats` histogram fed the
+        // same durations can never disagree.
+        let atomic = AtomicHist::new();
+        let mut plain = Hist::new();
+        for ns in [0u64, 1, 2, 999, 1024, 1_000_000, u64::MAX] {
+            atomic.record(ns);
+            plain.record(ns);
+        }
+        assert_eq!(atomic.snapshot(), plain);
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_concurrent_safe() {
+        static C: Counter = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    register_counter("ts_test_idempotent_total", "test", &[], &C);
+                });
+            }
+        });
+        let hits = entries()
+            .iter()
+            .filter(|e| e.name == "ts_test_idempotent_total")
+            .count();
+        assert_eq!(hits, 1, "eight racing registrations, one entry");
+    }
+
+    #[test]
+    fn entries_sort_by_name_then_labels() {
+        static A: Counter = Counter::new();
+        static B: Counter = Counter::new();
+        register_counter(
+            "ts_test_sorted_total",
+            "test",
+            &[("scheme", "threadscan")],
+            &A,
+        );
+        register_counter("ts_test_sorted_total", "test", &[("scheme", "epoch")], &B);
+        let found: Vec<MetricEntry> = entries()
+            .into_iter()
+            .filter(|e| e.name == "ts_test_sorted_total")
+            .collect();
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].labels[0].1, "epoch");
+        assert_eq!(found[1].labels[0].1, "threadscan");
+    }
+
+    #[test]
+    fn callback_gauge_reads_at_scrape_time() {
+        use std::sync::atomic::AtomicU64;
+        static SOURCE: AtomicU64 = AtomicU64::new(0);
+        fn read() -> u64 {
+            SOURCE.load(Ordering::Relaxed)
+        }
+        static G: CallbackGauge = CallbackGauge::new(read);
+        register_callback_gauge("ts_test_cb_gauge", "test", &[], &G);
+        SOURCE.store(42, Ordering::Relaxed);
+        assert_eq!(G.get(), 42);
+        SOURCE.store(7, Ordering::Relaxed);
+        assert_eq!(G.get(), 7, "value is computed per read, not cached");
+    }
+}

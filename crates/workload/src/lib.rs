@@ -37,7 +37,10 @@ pub mod runner;
 
 pub use dist::{KeyDist, WeightedPick, ZipfSampler};
 pub use hetero::run_hetero_combo;
-pub use load::{ArrivalSchedule, BacklogPolicy, LatencySummary, LoadModel, OpenLoopExtras};
+pub use load::{
+    register_worker_metrics, ArrivalSchedule, BacklogPolicy, LatencySummary, LoadModel,
+    OpenLoopExtras,
+};
 pub use mix::{prefill_keys, Op, OpMix};
 pub use params::{SchemeKind, StructureKind, StructureMix, WorkloadParams};
 pub use pq::{run_pq_combo, PqParams};

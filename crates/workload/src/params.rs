@@ -260,6 +260,11 @@ pub struct WorkloadParams {
     /// What workers do with arrivals they observe behind schedule
     /// (open-loop models only).
     pub backlog: BacklogPolicy,
+    /// Install the `ts-telemetry` observability sink on the scheme's
+    /// collector (ThreadScan runs) and publish worker/pool metrics into
+    /// the process-wide registry. Off by default: a run without it
+    /// executes zero additional atomics on any hot path.
+    pub telemetry: bool,
     /// Weighted multi-structure mix for heterogeneous runs
     /// ([`crate::hetero::run_hetero_combo`]); `None` for single-structure
     /// cells.
@@ -332,6 +337,7 @@ impl WorkloadParams {
             load_model: LoadModel::Closed,
             arrival_seed: 0xA441_7A1E,
             backlog: BacklogPolicy::Queue,
+            telemetry: false,
             structure_mix: None,
             scale: 1,
         }
@@ -431,7 +437,14 @@ impl WorkloadParams {
             model: &self.load_model,
             backlog: self.backlog,
             arrival_seed: self.arrival_seed,
+            telemetry: self.telemetry,
         }
+    }
+
+    /// Builder: telemetry (phase rings + metrics registry) on/off.
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
     }
 
     /// Builder: the weighted structure mix for a heterogeneous run.
@@ -462,6 +475,7 @@ impl WorkloadParams {
         cell.load_model = self.load_model;
         cell.arrival_seed = self.arrival_seed;
         cell.backlog = self.backlog;
+        cell.telemetry = self.telemetry;
         cell
     }
 }
@@ -581,6 +595,13 @@ mod tests {
         assert!(skip.node_pool, "pool toggle must carry into hetero cells");
         assert!(skip.ts_adaptive_collect);
         assert_eq!(skip.ts_pending_watermark, 512);
+        assert!(
+            p.clone()
+                .with_telemetry(true)
+                .hetero_cell(StructureKind::Skip)
+                .telemetry,
+            "telemetry toggle must carry into hetero cells"
+        );
         let pq = p.hetero_cell(StructureKind::Pq);
         assert_eq!(pq.initial_size, 10_000 / 64);
     }

@@ -96,6 +96,7 @@ impl PqParams {
             model: &self.load_model,
             backlog: self.backlog,
             arrival_seed: self.arrival_seed,
+            telemetry: false,
         }
     }
 

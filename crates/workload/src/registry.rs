@@ -91,6 +91,15 @@ impl SchemeKind {
                 if params.ts_sort_threads > 0 {
                     config = config.with_sort_threads(params.ts_sort_threads);
                 }
+                if params.telemetry {
+                    // Observability is opt-in: the sink installs the
+                    // phase-ring record path on the collector, and the
+                    // pool gauges join the same registry so a single
+                    // `/metrics` scrape covers both.
+                    config = config.with_telemetry(ts_telemetry::sink());
+                    ts_alloc::register_pool_metrics();
+                    crate::load::register_worker_metrics();
+                }
                 if params.ts_adaptive_collect {
                     config = config.with_collect_policy(threadscan::CollectPolicy::Adaptive);
                     if params.ts_pending_watermark > 0 {
@@ -297,6 +306,32 @@ mod tests {
             threadscan::CollectPolicy::Fixed
         );
         assert!(fixed.collector().config().pressure_source.is_none());
+    }
+
+    #[test]
+    fn telemetry_param_installs_the_sink_and_default_stays_clean() {
+        let params = WorkloadParams::fig3(StructureKind::List, 2)
+            .scaled_down(64)
+            .with_telemetry(true);
+        let scheme = SchemeKind::ThreadScan.build(&params);
+        let ts = scheme
+            .as_any()
+            .downcast_ref::<ThreadScanSmr<ts_sigscan::SignalPlatform>>()
+            .expect("threadscan scheme");
+        assert!(ts.collector().config().telemetry.is_some());
+        // The same build also registered the pool and worker metrics.
+        let page = ts_telemetry::render_prometheus();
+        assert!(page.contains("threadscan_pool_bytes_resident"));
+        assert!(page.contains("threadscan_worker_ops_total"));
+
+        // Default params stay telemetry-free: no sink, no extra atomics.
+        let plain = SchemeKind::ThreadScan
+            .build(&WorkloadParams::fig3(StructureKind::List, 2).scaled_down(64));
+        let plain = plain
+            .as_any()
+            .downcast_ref::<ThreadScanSmr<ts_sigscan::SignalPlatform>>()
+            .unwrap();
+        assert!(plain.collector().config().telemetry.is_none());
     }
 
     #[test]

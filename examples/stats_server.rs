@@ -1,0 +1,166 @@
+//! Live observability: serve `GET /metrics` while a workload runs.
+//!
+//! Starts a ThreadScan workload (the fig3 list cell, telemetry enabled)
+//! in a background thread and serves the process's Prometheus metrics
+//! page over a hand-rolled `std::net` HTTP listener — no web framework,
+//! no dependencies, ~as much HTTP as a scrape endpoint needs. Point a
+//! Prometheus scraper (or `curl`) at it and watch collects, pool
+//! residency, and worker ops move while the run churns.
+//!
+//! ```text
+//! cargo run --release --example stats_server -- [--port 9184] \
+//!     [--duration-secs 10] [--self-check]
+//! ```
+//!
+//! `--port 0` (the default) binds an ephemeral port and prints it.
+//! `--self-check` is the CI shape: serve, scrape *itself* once over
+//! loopback, validate that the page contains `threadscan_collects_total`,
+//! print the page, and exit 0/1 — no backgrounding or external curl
+//! needed.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ts_workload::{run_combo, SchemeKind, StructureKind, WorkloadParams};
+
+fn main() {
+    let mut port: u16 = 0;
+    let mut duration = Duration::from_secs(10);
+    let mut self_check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" => {
+                port = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--port expects a number");
+            }
+            "--duration-secs" => {
+                duration = Duration::from_secs_f64(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--duration-secs expects a number"),
+                );
+            }
+            "--self-check" => self_check = true,
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let listener = TcpListener::bind(("127.0.0.1", port)).expect("bind metrics port");
+    let addr = listener.local_addr().expect("local addr");
+    println!("# serving http://{addr}/metrics");
+
+    // The workload: fig3 list cells under ThreadScan with the telemetry
+    // sink installed, looped until the serving window closes. Each
+    // run_combo is a complete measured run; looping keeps the counters
+    // moving for the whole window.
+    let stop = Arc::new(AtomicBool::new(false));
+    let workload = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let params = WorkloadParams::fig3(StructureKind::List, 2)
+                .scaled_down(16)
+                .with_duration(Duration::from_millis(200))
+                .with_node_pool(true)
+                .with_telemetry(true);
+            let mut runs = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let _ = run_combo(SchemeKind::ThreadScan, &params);
+                runs += 1;
+            }
+            runs
+        })
+    };
+
+    // Serve until the deadline (poll-accept so the deadline is honored
+    // even with no clients).
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    let server = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => serve_one(stream),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) => panic!("accept failed: {e}"),
+                }
+            }
+        })
+    };
+
+    let ok = if self_check {
+        // Give the workload time to complete at least one full run so the
+        // counters it publishes are nonzero, then scrape ourselves.
+        std::thread::sleep(Duration::from_millis(800));
+        let page = scrape(addr);
+        println!("{page}");
+        let ok = page.starts_with("HTTP/1.1 200")
+            && page.contains("threadscan_collects_total")
+            && page.contains("threadscan_pool_bytes_resident")
+            && page.contains("threadscan_worker_ops_total");
+        println!(
+            "# self-check: {}",
+            if ok {
+                "ok"
+            } else {
+                "FAILED (expected collect, pool, and worker metrics)"
+            }
+        );
+        ok
+    } else {
+        let deadline = Instant::now() + duration;
+        while Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        true
+    };
+
+    stop.store(true, Ordering::Relaxed);
+    server.join().expect("server thread");
+    let runs = workload.join().expect("workload thread");
+    println!("# workload completed {runs} runs");
+    std::process::exit(if ok { 0 } else { 1 });
+}
+
+/// Answers one HTTP request: the metrics page for `GET /metrics` (and
+/// `GET /`, for convenience), 404 otherwise.
+fn serve_one(mut stream: TcpStream) {
+    let mut buf = [0u8; 1024];
+    let n = match stream.read(&mut buf) {
+        Ok(n) => n,
+        Err(_) => return,
+    };
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request.split_whitespace().nth(1).unwrap_or("");
+    let (status, body) = if request.starts_with("GET") && (path == "/metrics" || path == "/") {
+        ("200 OK", ts_telemetry::render_prometheus())
+    } else {
+        ("404 Not Found", "not found; try /metrics\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+/// Fetches `/metrics` from our own listener; returns the raw response.
+fn scrape(addr: std::net::SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to self");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .expect("send request");
+    let mut page = String::new();
+    stream.read_to_string(&mut page).expect("read response");
+    page
+}
